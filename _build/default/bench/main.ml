@@ -1,0 +1,687 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index E1-E8), prints paper-vs-ours
+   tables, and runs bechamel micro-benchmarks of the two strategies.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig1    # one section
+   Sections: fig1 sec74 bugs figure2 sweep ext timing *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module Catalog = Storage.Catalog
+module Pager = Storage.Pager
+module F = Workload.Fixtures
+module G = Workload.Gen
+open Optimizer
+
+(* ---------------- small table printer --------------------------------- *)
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=');
+  let line row = String.concat "  " (List.map2 pad row widths) in
+  Fmt.pr "%s@.%s@." (line header)
+    (line (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pr "%s@." (line row)) rows
+
+let f0 x = Printf.sprintf "%.0f" x
+let f1 x = Printf.sprintf "%.1f" x
+
+let ints rel name =
+  List.filter_map
+    (function Value.Int i -> Some i | _ -> None)
+    (Relation.column_values rel name)
+  |> List.sort compare
+
+let show_ints rel name =
+  "{" ^ String.concat ", " (List.map string_of_int (ints rel name)) ^ "}"
+
+(* ---------------- E1: Figure 1 ---------------------------------------- *)
+
+(* Figure 1 summarizes three of Kim's worked examples.  The type-JA row's
+   parameters are given in the paper's section 7.4 (Pi=50, Pj=30, f.Ni=100);
+   the type-N and type-J parameters are reconstructed from the printed
+   costs (EXPERIMENTS.md records the derivations).  Kim's arithmetic uses
+   ceilinged log_(B-1) terms. *)
+let fig1 () =
+  let r = Cost.Ceil in
+  let n_nested = Cost.nested_iteration ~pi:20. ~pj:100. ~fi_ni:102. in
+  let n_merge =
+    Cost.nest_nj_merge ~rounding:r ~sort_outer:false ~b:6 ~pi:20. ~pj:100. ()
+  in
+  let j_nested = Cost.nested_iteration ~pi:25. ~pj:75. ~fi_ni:135. in
+  let j_merge =
+    Cost.nest_nj_merge ~rounding:r ~sort_outer:false ~b:6 ~pi:25. ~pj:75. ()
+  in
+  let ja_nested = Cost.nested_iteration ~pi:50. ~pj:30. ~fi_ni:100. in
+  let ja_kim = Cost.kim_nest_ja ~rounding:r ~b:6 ~pi:50. ~pj:30. ~pt:5. () in
+  print_table
+    ~title:
+      "E1 / Figure 1: page I/Os, nested iteration vs transformation + merge \
+       join"
+    ~header:
+      [ "query"; "paper nested"; "model nested"; "paper transf.";
+        "model transf."; "savings" ]
+    [
+      [ "type-N"; "10220"; f0 n_nested; "720"; f0 n_merge;
+        Printf.sprintf "%.0f%%" (100. *. (1. -. (n_merge /. n_nested))) ];
+      [ "type-J"; "10120"; f0 j_nested; "550"; f0 j_merge;
+        Printf.sprintf "%.0f%%" (100. *. (1. -. (j_merge /. j_nested))) ];
+      [ "type-JA"; "3050"; f0 ja_nested; "615"; f0 ja_kim;
+        Printf.sprintf "%.0f%%" (100. *. (1. -. (ja_kim /. ja_nested))) ];
+    ];
+  Fmt.pr
+    "(type-N/J parameters reconstructed from the printed costs; type-JA \
+     parameters from sec. 7.4.@.The type-J nested and type-JA transformed \
+     cells differ from the paper by 0.3%% / 7%% --@.Kim's full example \
+     parameters are in [KIM 82], not reprinted in this paper.  See \
+     EXPERIMENTS.md.)@."
+
+(* ---------------- E2: the 7.4 worked example --------------------------- *)
+
+let sec74 () =
+  let p =
+    {
+      Cost.pi = 50.; pj = 30.; pt2 = 7.; pt3 = 10.; pt4 = 8.; pt = 5.;
+      b = 6; fi_ni = 100.; nt2 = 100.;
+    }
+  in
+  let nested = Cost.nested_iteration ~pi:p.pi ~pj:p.pj ~fi_ni:p.fi_ni in
+  let rows =
+    List.map
+      (fun s ->
+        [ s.Cost.temp_method; s.Cost.final_method; f1 s.Cost.cost;
+          Printf.sprintf "%.0f%%" (100. *. (1. -. (s.Cost.cost /. nested))) ])
+      (Cost.ja2_strategies p)
+  in
+  print_table
+    ~title:
+      "E2 / sec. 7.4: NEST-JA2 strategy costs (Pi=50 Pj=30 Pt2=7 Pt3=10 \
+       Pt4=8 Pt=5 B=6 f.Ni=100)"
+    ~header:[ "temp join"; "final join"; "page I/Os"; "savings vs nested" ]
+    (rows
+    @ [
+        [ "(nested iteration)"; "-"; f0 nested; "-" ];
+        [ "(paper: two merge joins)"; "-"; "about 475"; "-" ];
+      ]);
+  Fmt.pr "closed-form all-merge total: %.1f (paper prints \"about 475\")@."
+    (Cost.ja2_total_merge p)
+
+(* ---------------- E3-E5: the bug tables -------------------------------- *)
+
+let fresh_counter prefix =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s%d" prefix !n
+
+let run_kim_ja catalog q =
+  let pred = List.hd q.Sql.Ast.where in
+  let temp, rewritten = Nest_ja.transform q pred ~temp_name:"KIMTEMP" in
+  Planner.materialize_temp catalog temp;
+  let result =
+    Exec.Plan.run catalog (Planner.lower catalog rewritten).Planner.plan
+  in
+  Catalog.drop catalog "KIMTEMP";
+  result
+
+let run_ja2 catalog q =
+  let pred = List.hd q.Sql.Ast.where in
+  let { Nest_ja2.temps; rewritten } =
+    Nest_ja2.transform q pred ~fresh:(fresh_counter "JA2T") ()
+  in
+  List.iter (Planner.materialize_temp catalog) temps;
+  let result =
+    Exec.Plan.run catalog (Planner.lower catalog rewritten).Planner.plan
+  in
+  List.iter (fun { Program.name; _ } -> Catalog.drop catalog name) temps;
+  result
+
+let bugs () =
+  let scenario variant query =
+    let catalog = F.parts_supply_catalog variant in
+    let q = F.parse_analyzed catalog query in
+    let reference = Exec.Nested_iter.run catalog q in
+    let kim = run_kim_ja catalog q in
+    let ja2 = run_ja2 catalog q in
+    ( show_ints reference "PNUM",
+      show_ints kim "PNUM",
+      show_ints ja2 "PNUM",
+      Relation.equal_set reference kim,
+      Relation.equal_bag reference ja2 )
+  in
+  let row name variant query =
+    let reference, kim, ja2, kim_ok, ja2_ok = scenario variant query in
+    [ name; reference;
+      kim ^ (if kim_ok then "" else " (WRONG)");
+      ja2 ^ (if ja2_ok then " (ok)" else " (WRONG)") ]
+  in
+  print_table
+    ~title:
+      "E3-E5 / sec. 5: Kim's NEST-JA bugs vs NEST-JA2 (results of PNUM \
+       queries)"
+    ~header:[ "scenario"; "nested iteration"; "Kim NEST-JA"; "NEST-JA2" ]
+    [
+      row "E3 COUNT bug (Q2)" F.Count_bug F.query_q2;
+      row "E4 non-equality (Q5)" F.Neq_bug F.query_q5;
+      row "E5 duplicates (Q2)" F.Duplicates F.query_q2;
+      row "COUNT(*) variant" F.Count_bug F.query_q2_count_star;
+    ];
+  (* The paper reports its outer-join solution "has been tested successfully
+     on queries with more than a single level of nesting, including
+     Kiessling's query Q3": a Q3-style two-level COUNT query, all three
+     datasets. *)
+  let q3_style =
+    "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY      WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80' AND QUAN =      (SELECT MAX(QUAN) FROM SUPPLY X WHERE X.PNUM = SUPPLY.PNUM))"
+  in
+  let rows =
+    List.map
+      (fun (label, variant) ->
+        let catalog = F.parts_supply_catalog variant in
+        let q = F.parse_analyzed catalog q3_style in
+        let reference = Exec.Nested_iter.run catalog q in
+        let program =
+          Nest_g.transform
+            ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+            q
+        in
+        let got = Planner.run_program catalog program in
+        [ label; show_ints reference "PNUM"; show_ints got "PNUM";
+          string_of_bool (Relation.equal_bag reference got) ])
+      [ ("kiessling data", F.Count_bug); ("sec. 5.3 data", F.Neq_bug);
+        ("duplicates data", F.Duplicates) ]
+  in
+  print_table
+    ~title:
+      "Multi-level COUNT (Q3-style, two NEST-JA2 applications): NEST-G vs nested iteration"
+    ~header:[ "dataset"; "nested iteration"; "transformed"; "agree" ] rows
+
+(* ---------------- E6: Figure 2 ----------------------------------------- *)
+
+let figure2 () =
+  let catalog = F.parts_supply_catalog F.Count_bug in
+  let text =
+    "SELECT PNUM FROM PARTS WHERE QOH < (SELECT MAX(QUAN) FROM SUPPLY WHERE \
+     SUPPLY.QUAN IN (SELECT QUAN FROM SUPPLY C WHERE C.SHIPDATE IN (SELECT \
+     SHIPDATE FROM SUPPLY E WHERE E.PNUM = PARTS.PNUM)))"
+  in
+  let q = F.parse_analyzed catalog text in
+  let program =
+    Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
+  in
+  let reference = Exec.Nested_iter.run catalog q in
+  let result = Planner.run_program catalog program in
+  Planner.drop_temps catalog program;
+  print_table ~title:"E6 / Figure 2: recursive NEST-G on a 4-block query tree"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "nesting depth"; string_of_int (Sql.Ast.nesting_depth q) ];
+      [ "temp tables created";
+        string_of_int (List.length program.Program.temps) ];
+      [ "canonical"; string_of_bool (Program.is_fully_canonical program) ];
+      [ "nested iteration result"; show_ints reference "PNUM" ];
+      [ "transformed result"; show_ints result "PNUM" ];
+      [ "agree"; string_of_bool (Relation.equal_set reference result) ];
+    ]
+
+(* ---------------- E7: measured page-I/O sweeps -------------------------- *)
+
+let sweep_queries =
+  [
+    ( "type-N",
+      "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY WHERE \
+       QUAN >= 3)" );
+    ( "type-J",
+      "SELECT PNUM FROM PARTS WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE \
+       SUPPLY.PNUM = PARTS.PNUM)" );
+    ( "type-JA",
+      "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM \
+       SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')" );
+  ]
+
+let measure_io catalog run =
+  let pager = Catalog.pager catalog in
+  let before = Pager.snapshot pager in
+  let result = run () in
+  (result, Pager.total_io (Pager.diff_since pager before))
+
+let sweep () =
+  List.iter
+    (fun (kind, text) ->
+      let rows =
+        List.map
+          (fun supply_per_part ->
+            let fresh_catalog () =
+              G.scaled_catalog ~buffer_pages:8 ~page_bytes:128 ~seed:42
+                ~n_parts:40 ~supply_per_part ()
+            in
+            let c1 = fresh_catalog () in
+            let q1 = F.parse_analyzed c1 text in
+            let reference, nested_io =
+              measure_io c1 (fun () -> Exec.Sysr_iteration.run c1 q1)
+            in
+            let c2 = fresh_catalog () in
+            let q2 = F.parse_analyzed c2 text in
+            let transformed, trans_io =
+              measure_io c2 (fun () ->
+                  let program =
+                    Nest_g.transform
+                      ~fresh:(fun () -> Catalog.fresh_temp_name c2)
+                      q2
+                  in
+                  Planner.run_program c2 program)
+            in
+            let agree = Relation.equal_set reference transformed in
+            let supply_pages = Catalog.pages c2 "SUPPLY" in
+            [
+              string_of_int supply_per_part;
+              string_of_int supply_pages;
+              string_of_int nested_io;
+              string_of_int trans_io;
+              Printf.sprintf "%.0f%%"
+                (100.
+                *. (1. -. (float_of_int trans_io /. float_of_int nested_io)));
+              string_of_bool agree;
+            ])
+          [ 2; 4; 8; 16; 32 ]
+      in
+      print_table
+        ~title:
+          (Printf.sprintf
+             "E7 / measured page I/O sweep (%s; 40 parts, B=8 pages of 128B)"
+             kind)
+        ~header:
+          [ "supply/part"; "SUPPLY pages"; "nested I/O"; "transformed I/O";
+            "savings"; "agree" ]
+        rows)
+    sweep_queries
+
+(* ---------------- E8: the extensions ----------------------------------- *)
+
+let ext () =
+  let cases =
+    [
+      ("EXISTS",
+       "SELECT SNAME FROM S WHERE EXISTS (SELECT SNO FROM SP WHERE SP.SNO = \
+        S.SNO)");
+      ("NOT EXISTS",
+       "SELECT SNAME FROM S WHERE NOT EXISTS (SELECT SNO FROM SP WHERE \
+        SP.SNO = S.SNO)");
+      ("< ANY", "SELECT PNO FROM P WHERE WEIGHT < ANY (SELECT QTY FROM SP)");
+      (">= ALL",
+       "SELECT PNO FROM P WHERE WEIGHT >= ALL (SELECT WEIGHT FROM P)");
+      ("= ANY", "SELECT SNO FROM S WHERE SNO = ANY (SELECT SNO FROM SP)");
+      ("> ANY correlated",
+       "SELECT PNO FROM P WHERE WEIGHT > ANY (SELECT WEIGHT FROM P X WHERE \
+        X.CITY = P.CITY)");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, text) ->
+        let c1 = F.kim_catalog () in
+        let q = F.parse_analyzed c1 text in
+        let reference, nested_io =
+          measure_io c1 (fun () -> Exec.Sysr_iteration.run c1 q)
+        in
+        let c2 = F.kim_catalog () in
+        let q2 = F.parse_analyzed c2 text in
+        let transformed, trans_io =
+          measure_io c2 (fun () ->
+              let program =
+                Nest_g.transform
+                  ~fresh:(fun () -> Catalog.fresh_temp_name c2)
+                  q2
+              in
+              Planner.run_program c2 program)
+        in
+        [
+          name;
+          string_of_int (Relation.cardinality reference);
+          string_of_bool (Relation.equal_set reference transformed);
+          string_of_int nested_io;
+          string_of_int trans_io;
+        ])
+      cases
+  in
+  print_table
+    ~title:"E8 / sec. 8 extensions: EXISTS / NOT EXISTS / ANY / ALL"
+    ~header:[ "predicate"; "rows"; "agree"; "nested I/O"; "transformed I/O" ]
+    rows
+
+(* ---------------- ablations -------------------------------------------- *)
+
+(* Measured counterpart of E2: the same transformed JA program executed
+   with forced join methods.  The cost model's ordering (merge beats nested
+   loops once relations outgrow the pool) should reproduce in measured
+   page I/O. *)
+let strategies () =
+  let text = List.assoc "type-JA" sweep_queries in
+  let rows =
+    List.map
+      (fun (label, force) ->
+        let catalog =
+          G.scaled_catalog ~buffer_pages:8 ~page_bytes:128 ~seed:42
+            ~n_parts:40 ~supply_per_part:16 ()
+        in
+        let q = F.parse_analyzed catalog text in
+        let program =
+          Nest_g.transform
+            ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+            q
+        in
+        let result, io =
+          measure_io catalog (fun () -> Planner.run_program ~force catalog program)
+        in
+        [ label; string_of_int io; string_of_int (Relation.cardinality result) ])
+      [
+        ("forced nested-loop", Planner.Force_nl);
+        ("forced sort-merge", Planner.Force_merge);
+        ("forced hash (beyond the paper)", Planner.Force_hash);
+        ("cost-based (auto, 1987 methods)", Planner.Auto);
+      ]
+  in
+  print_table
+    ~title:
+      "Ablation / join methods: measured I/O of the transformed JA pipeline (40 parts x 16, B=8)"
+    ~header:[ "join method"; "total page I/O"; "rows" ] rows
+
+(* Buffer-size sensitivity: nested iteration collapses to cheap once the
+   inner relation fits in the pool; the transformation's sort costs shrink
+   with B too, but gently. *)
+let buffers () =
+  let text = List.assoc "type-JA" sweep_queries in
+  let rows =
+    List.map
+      (fun b ->
+        let run strategy =
+          let catalog =
+            G.scaled_catalog ~buffer_pages:b ~page_bytes:128 ~seed:42
+              ~n_parts:40 ~supply_per_part:8 ()
+          in
+          let q = F.parse_analyzed catalog text in
+          match strategy with
+          | `Nested ->
+              snd (measure_io catalog (fun () -> Exec.Sysr_iteration.run catalog q))
+          | `Transformed ->
+              snd
+                (measure_io catalog (fun () ->
+                     let program =
+                       Nest_g.transform
+                         ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+                         q
+                     in
+                     Planner.run_program catalog program))
+        in
+        let nested = run `Nested and transformed = run `Transformed in
+        let savings =
+          if nested = 0 then "n/a (all cached)"
+          else
+            Printf.sprintf "%.0f%%"
+              (100.
+              *. (1. -. (float_of_int transformed /. float_of_int nested)))
+        in
+        [ string_of_int b; string_of_int nested; string_of_int transformed;
+          savings ])
+      [ 4; 8; 16; 32; 64; 128 ]
+  in
+  print_table
+    ~title:
+      "Ablation / buffer size B: type-JA, 40 parts x 8 supply (SUPPLY = 64 pages)"
+    ~header:[ "B (pages)"; "nested I/O"; "transformed I/O"; "savings" ] rows
+
+(* Index access path: with a dense index on SUPPLY.PNUM, the planner can
+   probe instead of scanning or sorting — the "indices on the join columns"
+   of §5.2.  Compare the transformed JA pipeline across access paths. *)
+let indexes () =
+  List.iter
+    (fun kind ->
+      let text = List.assoc kind sweep_queries in
+      let rows =
+        List.map
+          (fun (label, with_index, force) ->
+            let catalog =
+              G.scaled_catalog ~buffer_pages:8 ~page_bytes:128 ~seed:42
+                ~n_parts:10 ~supply_per_part:64 ()
+            in
+            if with_index then
+              Catalog.create_index catalog "SUPPLY" ~column:"PNUM";
+            let q = F.parse_analyzed catalog text in
+            let program =
+              Nest_g.transform
+                ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+                q
+            in
+            let result, io =
+              measure_io catalog (fun () ->
+                  Planner.run_program ~force catalog program)
+            in
+            [ label; string_of_int io;
+              string_of_int (Relation.cardinality result) ])
+          [
+            ("no index, cost-based", false, Planner.Auto);
+            ("index on SUPPLY.PNUM, cost-based", true, Planner.Auto);
+            ("index available, forced merge", true, Planner.Force_merge);
+          ]
+      in
+      print_table
+        ~title:
+          (Printf.sprintf
+             "Ablation / index access path: transformed %s pipeline (10 parts x 64 supply, B=8)"
+             kind)
+        ~header:[ "configuration"; "total page I/O"; "rows" ] rows)
+    [ "type-N"; "type-J" ]
+
+(* The outer projection of NEST-JA2 step 1 (DISTINCT): dropping it is
+   cheaper on temps but wrong on duplicate data — the two halves of the
+   paper's sec. 5.4 argument. *)
+let projection () =
+  let rows =
+    List.map
+      (fun (label, project_outer) ->
+        let catalog = F.parts_supply_catalog F.Duplicates in
+        let q = F.parse_analyzed catalog F.query_q2 in
+        let pred = List.hd q.Sql.Ast.where in
+        let { Nest_ja2.temps; rewritten } =
+          Nest_ja2.transform q pred
+            ~fresh:(fresh_counter "PT")
+            ~project_outer ()
+        in
+        let result, io =
+          measure_io catalog (fun () ->
+              List.iter (Planner.materialize_temp catalog) temps;
+              Exec.Plan.run catalog (Planner.lower catalog rewritten).Planner.plan)
+        in
+        let reference = Exec.Nested_iter.run catalog q in
+        [
+          label;
+          show_ints result "PNUM";
+          string_of_bool (Relation.equal_set reference result);
+          string_of_int io;
+        ])
+      [ ("with DISTINCT projection (NEST-JA2)", true);
+        ("without projection (sec. 5.4 variant)", false) ]
+  in
+  print_table
+    ~title:
+      "Ablation / outer projection (sec. 5.4, duplicates instance; ground truth {3, 8, 10})"
+    ~header:[ "variant"; "result"; "correct"; "page I/O" ] rows
+
+(* Model validation: feed the paper's §7.4 closed form with the *actual*
+   page counts of a run (Pi, Pj from the catalog; Pt2, Pt3, Pt from the
+   materialized temps; Rt4 proxied by Pt2+Pt3 since our pipeline streams the
+   pre-GROUP-BY join result instead of materializing it), and compare with
+   the measured all-merge I/O.  The paper never validated its formulas
+   against an implementation; this section does. *)
+let model () =
+  let text = List.assoc "type-JA" sweep_queries in
+  let rows =
+    List.map
+      (fun (n_parts, supply_per_part) ->
+        let catalog =
+          G.scaled_catalog ~buffer_pages:8 ~page_bytes:128 ~seed:42 ~n_parts
+            ~supply_per_part ()
+        in
+        let q = F.parse_analyzed catalog text in
+        let program =
+          Nest_g.transform
+            ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+            q
+        in
+        let _, measured =
+          measure_io catalog (fun () ->
+              Planner.run_program ~force:Planner.Force_merge catalog program)
+        in
+        (* page counts after the run; temps still registered *)
+        let pages name = float_of_int (Catalog.pages catalog name) in
+        let temp_pages =
+          List.map (fun { Program.name; _ } -> pages name) program.Program.temps
+        in
+        let pt2, pt3, pt =
+          match temp_pages with
+          | [ a; b; c ] -> (a, b, c)
+          | [ a; c ] -> (a, 0., c)
+          | _ -> (1., 1., 1.)
+        in
+        let p =
+          {
+            Cost.pi = pages "PARTS"; pj = pages "SUPPLY"; pt2; pt3;
+            pt4 = pt2 +. pt3; pt;
+            b = Pager.buffer_pages (Catalog.pager catalog);
+            fi_ni = float_of_int (Catalog.tuples catalog "PARTS");
+            nt2 = float_of_int (Catalog.tuples catalog "PARTS");
+          }
+        in
+        let predicted = Cost.ja2_total_merge ~rounding:Cost.Ceil p in
+        let nested_pred = Cost.nested_iteration ~pi:p.pi ~pj:p.pj ~fi_ni:p.fi_ni in
+        Planner.drop_temps catalog program;
+        [
+          Printf.sprintf "%dx%d" n_parts supply_per_part;
+          f0 p.pi; f0 p.pj;
+          f0 predicted;
+          string_of_int measured;
+          Printf.sprintf "%.2f" (float_of_int measured /. predicted);
+          f0 nested_pred;
+        ])
+      [ (20, 4); (40, 8); (40, 16); (80, 16); (80, 32) ]
+  in
+  print_table
+    ~title:
+      "Model validation: sec. 7.4 closed form vs measured all-merge pipeline"
+    ~header:
+      [ "workload"; "Pi"; "Pj"; "model I/O"; "measured I/O"; "meas/model";
+        "model nested" ]
+    rows;
+  Fmt.pr
+    "(agreement within a few percent; residuals come from partial pages, LRU interference@.between concurrent scans, and the streamed pre-GROUP-BY join result.)@."
+
+(* ---------------- bechamel timings ------------------------------------- *)
+
+let timing () =
+  let open Bechamel in
+  let open Toolkit in
+  let make_catalog () =
+    G.scaled_catalog ~buffer_pages:8 ~page_bytes:128 ~seed:7 ~n_parts:30
+      ~supply_per_part:8 ()
+  in
+  let bench_pair kind text =
+    let c_nested = make_catalog () in
+    let q_nested = F.parse_analyzed c_nested text in
+    let nested =
+      Test.make ~name:(kind ^ " nested-iteration")
+        (Staged.stage (fun () ->
+             ignore (Exec.Sysr_iteration.run c_nested q_nested)))
+    in
+    let c_trans = make_catalog () in
+    let q_trans = F.parse_analyzed c_trans text in
+    let program =
+      Nest_g.transform
+        ~fresh:(fun () -> Catalog.fresh_temp_name c_trans)
+        q_trans
+    in
+    let transformed =
+      Test.make ~name:(kind ^ " transformed")
+        (Staged.stage (fun () ->
+             let r = Planner.run_program c_trans program in
+             Planner.drop_temps c_trans program;
+             ignore r))
+    in
+    let transform_only =
+      Test.make ~name:(kind ^ " transform (rewrite only)")
+        (Staged.stage (fun () ->
+             let n = ref 0 in
+             let fresh () =
+               incr n;
+               Printf.sprintf "T%d" !n
+             in
+             ignore (Nest_g.transform ~fresh q_trans)))
+    in
+    [ nested; transformed; transform_only ]
+  in
+  let tests =
+    List.concat_map (fun (kind, text) -> bench_pair kind text) sweep_queries
+  in
+  let test = Test.make_grouped ~name:"nestopt" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows =
+    List.sort compare !rows
+    |> List.map (fun (name, ns) ->
+           [
+             name;
+             (if Float.is_nan ns then "n/a"
+              else if ns > 1_000_000. then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else Printf.sprintf "%.1f us" (ns /. 1e3));
+           ])
+  in
+  print_table ~title:"Wall-clock (bechamel, monotonic clock, ns/run OLS)"
+    ~header:[ "benchmark"; "time/run" ] rows
+
+(* ---------------- driver ------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig1", fig1); ("sec74", sec74); ("bugs", bugs); ("figure2", figure2);
+    ("sweep", sweep); ("ext", ext); ("strategies", strategies);
+    ("buffers", buffers); ("indexes", indexes); ("projection", projection);
+    ("model", model); ("timing", timing);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: args when args <> [] -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown section %s (available: %s)@." name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

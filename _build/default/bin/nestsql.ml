@@ -1,0 +1,280 @@
+(* nestsql: command-line front end.
+
+     nestsql run       [-d kim] "SELECT ..."      run a query (auto strategy)
+     nestsql compare   [-d count-bug] "..."       both strategies + page I/O
+     nestsql classify  "..."                      Kim's nesting class
+     nestsql transform "..."                      print the canonical program
+     nestsql explain   "..."                      physical plans
+     nestsql tables    [-d kim]                   list tables of the fixture
+
+   Databases: a built-in fixture (-d kim | count-bug | neq-bug | duplicates)
+   and/or CSV tables loaded with  -t NAME=path.csv  (header NAME:TYPE,...). *)
+
+module Catalog = Storage.Catalog
+module F = Workload.Fixtures
+open Cmdliner
+
+(* ---------------- database setup -------------------------------------- *)
+
+let setup_db load_dir fixture tables buffer_pages page_bytes =
+  let db = Core.create_db ~buffer_pages ~page_bytes () in
+  let define name rel =
+    Core.define_table db name
+      (List.map
+         (fun (c : Core.Schema.column) -> (c.name, c.ty))
+         (Core.Schema.columns (Core.Relation.schema rel)))
+      (List.map Relalg.Row.to_list (Core.Relation.rows rel))
+  in
+  (match fixture with
+  | "none" -> ()
+  | "kim" ->
+      define "S" F.suppliers;
+      define "P" F.parts;
+      define "SP" F.shipments
+  | "count-bug" ->
+      define "PARTS" F.kiessling_parts;
+      define "SUPPLY" F.kiessling_supply
+  | "neq-bug" ->
+      define "PARTS" F.neq_parts;
+      define "SUPPLY" F.neq_supply
+  | "duplicates" ->
+      define "PARTS" F.dup_parts;
+      define "SUPPLY" F.dup_supply
+  | other -> failwith ("unknown fixture " ^ other));
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith ("bad --table spec " ^ spec ^ " (want NAME=path.csv)")
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          define name (Workload.Csv_loader.load_file ~rel:name path))
+    tables;
+  (match load_dir with
+  | Some dir -> Workload.Csv_writer.load_dir (Core.catalog db) dir
+  | None -> ());
+  db
+
+(* ---------------- common options -------------------------------------- *)
+
+let fixture =
+  let doc = "Built-in fixture: kim, count-bug, neq-bug, duplicates, none." in
+  Arg.(value & opt string "kim" & info [ "d"; "database" ] ~docv:"NAME" ~doc)
+
+let tables =
+  let doc = "Load a CSV table: NAME=path.csv (header NAME:TYPE,...)." in
+  Arg.(value & opt_all string [] & info [ "t"; "table" ] ~docv:"SPEC" ~doc)
+
+let load_dir =
+  let doc = "Load every NAME.csv in a directory as table NAME." in
+  Arg.(value & opt (some string) None & info [ "D"; "load-dir" ] ~docv:"DIR" ~doc)
+
+let buffer_pages =
+  let doc = "Buffer pool size in pages (the paper's B)." in
+  Arg.(value & opt int 8 & info [ "B"; "buffer-pages" ] ~docv:"N" ~doc)
+
+let page_bytes =
+  let doc = "Page size in bytes." in
+  Arg.(value & opt int 256 & info [ "page-bytes" ] ~docv:"N" ~doc)
+
+let sql =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let strategy =
+  let doc = "Evaluation strategy: auto, nested, transformed." in
+  Arg.(value & opt string "auto" & info [ "s"; "strategy" ] ~doc)
+
+let trace =
+  let doc = "Print the NEST-G transformation steps." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let die msg =
+  Fmt.epr "error: %s@." msg;
+  exit 1
+
+let ok_or_die = function Ok v -> v | Error msg -> die msg
+
+(* ---------------- commands -------------------------------------------- *)
+
+let run_cmd load_dir fixture tables buffer_pages page_bytes strategy sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let strategy =
+    match strategy with
+    | "auto" -> Core.Auto
+    | "nested" -> Core.Nested_iteration
+    | "transformed" -> Core.Transformed Optimizer.Planner.Auto
+    | s -> die ("unknown strategy " ^ s)
+  in
+  let e = ok_or_die (Core.run ~strategy db sql) in
+  Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
+
+let compare_cmd load_dir fixture tables buffer_pages page_bytes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let c = ok_or_die (Core.compare_strategies db sql) in
+  Fmt.pr "%a@.@." Core.Relation.pp c.Core.nested.Core.result;
+  Fmt.pr "%a@." Core.pp_execution c.Core.nested;
+  (match c.Core.transformed with
+  | Some t -> Fmt.pr "%a@." Core.pp_execution t
+  | None -> Fmt.pr "transformation: not applicable@.");
+  Fmt.pr "results agree (set semantics): %b@." c.Core.agree
+
+let classify_cmd load_dir fixture tables buffer_pages page_bytes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  match ok_or_die (Core.classify db sql) with
+  | Some c -> Fmt.pr "%a@." Optimizer.Classify.pp c
+  | None -> Fmt.pr "flat (no nesting)@."
+
+let transform_cmd load_dir fixture tables buffer_pages page_bytes trace sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let program, steps = ok_or_die (Core.transform_traced db sql) in
+  if trace then begin
+    Fmt.pr "transformation steps:@.";
+    List.iteri (fun i s -> Fmt.pr "  %d. %s@." (i + 1) s) steps;
+    Fmt.pr "@."
+  end;
+  Fmt.pr "%a@." Optimizer.Program.pp program
+
+let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let tree = ok_or_die (Core.query_tree db sql) in
+  Fmt.pr "%a" Optimizer.Query_tree.pp tree
+
+let explain_cmd load_dir fixture tables buffer_pages page_bytes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  Fmt.pr "%s@." (ok_or_die (Core.explain db sql))
+
+let tables_cmd load_dir fixture tables buffer_pages page_bytes =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  List.iter
+    (fun name ->
+      let catalog = Core.catalog db in
+      Fmt.pr "%-10s %4d rows  %3d pages  %a@." name
+        (Catalog.tuples catalog name)
+        (Catalog.pages catalog name)
+        Core.Schema.pp (Catalog.schema catalog name))
+    (List.sort compare (Catalog.table_names (Core.catalog db)))
+
+let repl_cmd load_dir fixture tables buffer_pages page_bytes =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let strategy = ref Core.Auto in
+  Fmt.pr
+    "nestsql %s — interactive shell.@.Enter SQL, or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \\compare SQL, \\strategy auto|nested|transformed, \\quit@.@."
+    Core.version;
+  let show_tables () =
+    List.iter
+      (fun name ->
+        let catalog = Core.catalog db in
+        Fmt.pr "%-10s %4d rows  %3d pages@." name
+          (Catalog.tuples catalog name)
+          (Catalog.pages catalog name))
+      (List.sort compare (Catalog.table_names (Core.catalog db)))
+  in
+  let handle_result = function
+    | Error msg -> Fmt.pr "error: %s@." msg
+    | Ok (e : Core.execution) ->
+        Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
+  in
+  let strip s = String.trim s in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let after prefix s =
+    strip (String.sub s (String.length prefix)
+             (String.length s - String.length prefix))
+  in
+  let rec loop () =
+    Fmt.pr "nestsql> %!";
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        let line = strip line in
+        if line = "" then loop ()
+        else if line = "\\quit" || line = "\\q" then ()
+        else if line = "\\tables" then (show_tables (); loop ())
+        else if starts_with "\\strategy" line then begin
+          (match after "\\strategy" line with
+          | "auto" -> strategy := Core.Auto
+          | "nested" -> strategy := Core.Nested_iteration
+          | "transformed" ->
+              strategy := Core.Transformed Optimizer.Planner.Auto
+          | other -> Fmt.pr "unknown strategy %s@." other);
+          loop ()
+        end
+        else if starts_with "\\tree" line then begin
+          (match Core.query_tree db (after "\\tree" line) with
+          | Ok tree -> Fmt.pr "%a" Optimizer.Query_tree.pp tree
+          | Error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
+        else if starts_with "\\transform" line then begin
+          (match Core.transform_traced db (after "\\transform" line) with
+          | Ok (program, steps) ->
+              List.iteri (fun i s -> Fmt.pr "%d. %s@." (i + 1) s) steps;
+              Fmt.pr "%a@." Optimizer.Program.pp program
+          | Error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
+        else if starts_with "\\explain" line then begin
+          (match Core.explain db (after "\\explain" line) with
+          | Ok text -> Fmt.pr "%s@." text
+          | Error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
+        else if starts_with "\\compare" line then begin
+          (match Core.compare_strategies db (after "\\compare" line) with
+          | Ok c ->
+              Fmt.pr "%a@." Core.pp_execution c.Core.nested;
+              (match c.Core.transformed with
+              | Some t -> Fmt.pr "%a@." Core.pp_execution t
+              | None -> Fmt.pr "transformation: not applicable@.");
+              Fmt.pr "agree: %b@." c.Core.agree
+          | Error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
+        else if starts_with "\\" line then begin
+          Fmt.pr "unknown command %s@." line;
+          loop ()
+        end
+        else begin
+          handle_result (Core.run ~strategy:!strategy db line);
+          loop ()
+        end)
+  in
+  loop ()
+
+(* ---------------- wiring ---------------------------------------------- *)
+
+let common f =
+  Term.(f $ load_dir $ fixture $ tables $ buffer_pages $ page_bytes)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "run" "Run a query (auto strategy by default)."
+      Term.(common (const run_cmd) $ strategy $ sql);
+    cmd "compare" "Run both strategies; report results and page I/O."
+      Term.(common (const compare_cmd) $ sql);
+    cmd "classify" "Print Kim's nesting classification."
+      Term.(common (const classify_cmd) $ sql);
+    cmd "transform" "Print the canonical program produced by NEST-G."
+      Term.(common (const transform_cmd) $ trace $ sql);
+    cmd "tree" "Print the query-block tree (the paper's Figure 2 view)."
+      Term.(common (const tree_cmd) $ sql);
+    cmd "explain" "Print the physical plans for the transformed program."
+      Term.(common (const explain_cmd) $ sql);
+    cmd "tables" "List the tables of the selected database."
+      (common Term.(const tables_cmd));
+    cmd "repl" "Interactive shell (SQL plus backslash commands)."
+      (common Term.(const repl_cmd));
+  ]
+
+let () =
+  let info =
+    Cmd.info "nestsql" ~version:Core.version
+      ~doc:
+        "Nested SQL query unnesting (Ganski & Wong, SIGMOD 1987 \
+         reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

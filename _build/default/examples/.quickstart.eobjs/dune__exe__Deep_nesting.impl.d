@@ -1,0 +1,1 @@
+examples/deep_nesting.ml: Exec Fmt Optimizer Relalg Sql Storage Workload

@@ -1,0 +1,1 @@
+examples/kiessling_bugs.ml: Exec Fmt List Optimizer Printf Relalg Sql Storage String Workload

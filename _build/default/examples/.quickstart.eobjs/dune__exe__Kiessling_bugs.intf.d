@@ -1,0 +1,1 @@
+examples/kiessling_bugs.mli:

@@ -1,0 +1,1 @@
+examples/sales_analytics.ml: Core Fmt List Optimizer Random String

@@ -1,0 +1,1 @@
+examples/suppliers_parts.ml: Core Fmt List Optimizer Relalg String Workload

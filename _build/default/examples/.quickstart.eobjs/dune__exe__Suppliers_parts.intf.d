@@ -1,0 +1,1 @@
+examples/suppliers_parts.mli:

@@ -1,0 +1,157 @@
+(* Public facade: everything a user of the library needs for the
+   parse → analyze → classify → transform → plan → execute pipeline, plus
+   side-by-side comparison of the two evaluation strategies (the experiment
+   the whole paper is about). *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Pager = Storage.Pager
+module Catalog = Storage.Catalog
+
+type db = { catalog : Catalog.t }
+
+let version = "1.0.0"
+
+let create_db ?(buffer_pages = 8) ?(page_bytes = 4096) () =
+  { catalog = Catalog.create (Pager.create ~buffer_pages ~page_bytes ()) }
+
+let catalog db = db.catalog
+
+let define_table db name columns rows =
+  Catalog.register_relation db.catalog name
+    (Relation.of_values ~rel:name columns rows)
+
+let table db name = Catalog.relation db.catalog name
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse db text =
+  match Sql.Parser.parse text with
+  | Error _ as e -> e
+  | Ok q -> Sql.Analyzer.analyze ~lookup:(Catalog.lookup db.catalog) q
+
+let classify db text =
+  Result.map Optimizer.Classify.classify_query (parse db text)
+
+let transform ?(rewrite_not_in = false) ?on_step db text =
+  match parse db text with
+  | Error _ as e -> e
+  | Ok q -> (
+      let fresh () = Catalog.fresh_temp_name db.catalog in
+      match Optimizer.Nest_g.transform ~rewrite_not_in ?on_step ~fresh q with
+      | program -> Ok program
+      | exception Optimizer.Nest_g.Unsupported msg
+      | exception Optimizer.Ja_shape.Not_ja msg
+      | exception Optimizer.Nest_n_j.Not_applicable msg
+      | exception Optimizer.Extensions.Unsupported msg ->
+          Error ("not transformable: " ^ msg))
+
+(* The transformation together with its step-by-step trace. *)
+let transform_traced ?rewrite_not_in db text =
+  let steps = ref [] in
+  let on_step s = steps := s :: !steps in
+  Result.map
+    (fun program -> (program, List.rev !steps))
+    (transform ?rewrite_not_in ~on_step db text)
+
+(* The paper's query-tree view (Figure 2). *)
+let query_tree db text =
+  Result.map Optimizer.Query_tree.of_query (parse db text)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type strategy =
+  | Nested_iteration (* the System R method, over paged storage *)
+  | Transformed of Optimizer.Planner.join_choice
+  | Auto (* transform when possible, else nested iteration *)
+
+type execution = {
+  result : Relation.t;
+  used_transformation : bool;
+  program : Optimizer.Program.t option;
+  io : Pager.stats; (* page traffic of this execution only *)
+}
+
+let run ?(strategy = Auto) db text : (execution, string) result =
+  match parse db text with
+  | Error _ as e -> e
+  | Ok q -> (
+      let pager = Catalog.pager db.catalog in
+      let run_nested () =
+        let before = Pager.snapshot pager in
+        let result = Exec.Sysr_iteration.run db.catalog q in
+        Ok
+          {
+            result;
+            used_transformation = false;
+            program = None;
+            io = Pager.diff_since pager before;
+          }
+      in
+      let run_transformed force =
+        match transform db text with
+        | Error _ as e -> e
+        | Ok program ->
+            let before = Pager.snapshot pager in
+            let result =
+              Optimizer.Planner.run_program ~force db.catalog program
+            in
+            let io = Pager.diff_since pager before in
+            Optimizer.Planner.drop_temps db.catalog program;
+            Ok
+              { result; used_transformation = true; program = Some program; io }
+      in
+      match strategy with
+      | Nested_iteration -> run_nested ()
+      | Transformed force -> run_transformed force
+      | Auto -> (
+          match run_transformed Optimizer.Planner.Auto with
+          | Ok _ as ok -> ok
+          | Error _ -> run_nested ()))
+
+(* Convenience: the relation only. *)
+let query db text : (Relation.t, string) result =
+  Result.map (fun e -> e.result) (run db text)
+
+let explain db text : (string, string) result =
+  match transform db text with
+  | Error _ as e -> e
+  | Ok program -> (
+      match Optimizer.Planner.explain db.catalog program with
+      | text -> Ok text
+      | exception Optimizer.Planner.Planning_error msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Side-by-side comparison (the paper's experiment)                    *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  nested : execution;
+  transformed : execution option; (* None when not transformable *)
+  agree : bool; (* results equal as sets (see DESIGN.md on duplicates) *)
+}
+
+let compare_strategies db text : (comparison, string) result =
+  match run ~strategy:Nested_iteration db text with
+  | Error _ as e -> e
+  | Ok nested -> (
+      match run ~strategy:(Transformed Optimizer.Planner.Auto) db text with
+      | Error _ -> Ok { nested; transformed = None; agree = true }
+      | Ok transformed ->
+          Ok
+            {
+              nested;
+              transformed = Some transformed;
+              agree = Relation.equal_set nested.result transformed.result;
+            })
+
+let pp_execution ppf (e : execution) =
+  Fmt.pf ppf "%s: %d rows, %a"
+    (if e.used_transformation then "transformed" else "nested iteration")
+    (Relation.cardinality e.result)
+    Pager.pp_stats e.io

@@ -1,0 +1,87 @@
+(** Nested SQL query unnesting — reproduction of Ganski & Wong, SIGMOD 1987.
+
+    The facade over the whole pipeline: define tables, parse and classify
+    nested queries, transform them with NEST-G (NEST-N-J / NEST-JA2 / the §8
+    extension rewrites), plan and execute either strategy over paged storage
+    with page-I/O accounting, and compare results side by side. *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Pager = Storage.Pager
+module Catalog = Storage.Catalog
+
+type db
+
+val version : string
+
+(** [create_db ~buffer_pages ~page_bytes ()] — [buffer_pages] is the
+    paper's B. *)
+val create_db : ?buffer_pages:int -> ?page_bytes:int -> unit -> db
+
+val catalog : db -> Catalog.t
+
+(** [define_table db name columns rows] registers a base table.
+    @raise Invalid_argument on malformed rows or duplicate names. *)
+val define_table :
+  db -> string -> (string * Value.ty) list -> Value.t list list -> unit
+
+(** @raise Catalog.Unknown_table *)
+val table : db -> string -> Relation.t
+
+(** Parse and analyze (name resolution, literal coercion, validation). *)
+val parse : db -> string -> (Sql.Ast.query, string) result
+
+(** Kim's classification of the query's nesting ([None] for flat queries). *)
+val classify : db -> string -> (Optimizer.Classify.t option, string) result
+
+(** Full NEST-G transformation to a canonical program.  [rewrite_not_in]
+    enables the beyond-the-paper NOT IN → COUNT rewrite; [on_step] receives
+    a trace line per transformation action. *)
+val transform :
+  ?rewrite_not_in:bool ->
+  ?on_step:(string -> unit) ->
+  db ->
+  string ->
+  (Optimizer.Program.t, string) result
+
+(** [transform] plus the collected trace lines, in order. *)
+val transform_traced :
+  ?rewrite_not_in:bool ->
+  db ->
+  string ->
+  (Optimizer.Program.t * string list, string) result
+
+(** The Figure-2-style query-block tree. *)
+val query_tree : db -> string -> (Optimizer.Query_tree.t, string) result
+
+type strategy =
+  | Nested_iteration  (** the System R method, over paged storage *)
+  | Transformed of Optimizer.Planner.join_choice
+  | Auto  (** transform when possible, else nested iteration *)
+
+type execution = {
+  result : Relation.t;
+  used_transformation : bool;
+  program : Optimizer.Program.t option;
+  io : Pager.stats;  (** page traffic of this execution only *)
+}
+
+val run : ?strategy:strategy -> db -> string -> (execution, string) result
+
+(** [run] and keep only the rows. *)
+val query : db -> string -> (Relation.t, string) result
+
+(** Transformed program + physical plans, as text. *)
+val explain : db -> string -> (string, string) result
+
+type comparison = {
+  nested : execution;
+  transformed : execution option;  (** [None] when not transformable *)
+  agree : bool;  (** set-equality of results; see DESIGN.md on duplicates *)
+}
+
+(** Run both strategies and compare results and I/O. *)
+val compare_strategies : db -> string -> (comparison, string) result
+
+val pp_execution : execution Fmt.t

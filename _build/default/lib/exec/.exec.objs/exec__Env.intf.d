@@ -1,0 +1,1 @@
+lib/exec/env.mli: Relalg Sql

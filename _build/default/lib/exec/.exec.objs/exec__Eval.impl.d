@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Env List Relalg Sql

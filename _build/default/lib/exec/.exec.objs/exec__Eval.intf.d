@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Env Relalg Sql

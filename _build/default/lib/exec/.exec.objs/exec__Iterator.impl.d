@@ -1,0 +1,1 @@
+lib/exec/iterator.ml: Eval Fun Hashtbl List Option Relalg Sql Storage

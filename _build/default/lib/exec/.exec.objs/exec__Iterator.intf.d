@@ -1,0 +1,1 @@
+lib/exec/iterator.mli: Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/exec/nested_iter.ml: Env Eval Fmt List Presentation Relalg Sql Storage

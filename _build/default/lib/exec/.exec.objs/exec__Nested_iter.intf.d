@@ -1,0 +1,1 @@
+lib/exec/nested_iter.mli: Env Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Eval Fmt Iterator List Option Relalg Sql Storage String

@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Format Iterator Relalg Sql Storage

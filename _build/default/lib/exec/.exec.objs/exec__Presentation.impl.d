@@ -1,0 +1,1 @@
+lib/exec/presentation.ml: List Relalg Sql

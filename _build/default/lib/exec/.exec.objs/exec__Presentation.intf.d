@@ -1,0 +1,1 @@
+lib/exec/presentation.mli: Relalg Sql

@@ -1,0 +1,1 @@
+lib/exec/sysr_iteration.ml: Env Eval List Nested_iter Presentation Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/exec/sysr_iteration.mli: Relalg Sql Storage

@@ -1,0 +1,36 @@
+(* Correlation environments.
+
+   Nested-iteration evaluation binds one tuple per FROM alias; inner query
+   blocks see the bindings of every enclosing block (that is what a
+   correlated "join predicate referencing a relation of an outer query
+   block" reads from).  Inner bindings shadow outer ones. *)
+
+module Schema = Relalg.Schema
+module Row = Relalg.Row
+module Value = Relalg.Value
+
+type binding = { alias : string; schema : Schema.t; row : Row.t }
+
+type t = binding list (* innermost first *)
+
+let empty : t = []
+
+let bind t ~alias ~schema ~row = { alias; schema; row } :: t
+
+exception Unbound of string
+
+(* Column references are fully qualified after analysis. *)
+let lookup (t : t) (c : Sql.Ast.col_ref) : Value.t =
+  let alias =
+    match c.table with
+    | Some a -> a
+    | None -> raise (Unbound c.column)
+  in
+  let rec search = function
+    | [] -> raise (Unbound (alias ^ "." ^ c.column))
+    | b :: rest ->
+        if String.equal b.alias alias then
+          Row.get b.row (Schema.find b.schema c.column)
+        else search rest
+  in
+  search t

@@ -1,0 +1,21 @@
+(** Correlation environments: one bound tuple per enclosing FROM alias. *)
+
+type binding = {
+  alias : string;
+  schema : Relalg.Schema.t;
+  row : Relalg.Row.t;
+}
+
+type t = binding list
+(** Innermost bindings first; inner aliases shadow outer ones. *)
+
+val empty : t
+
+val bind : t -> alias:string -> schema:Relalg.Schema.t -> row:Relalg.Row.t -> t
+
+exception Unbound of string
+
+(** Value of a fully-qualified column reference.
+    @raise Unbound when the alias is not in scope (or the reference is not
+    qualified). *)
+val lookup : t -> Sql.Ast.col_ref -> Relalg.Value.t

@@ -1,0 +1,87 @@
+(* Shared SQL evaluation semantics: comparisons, IN/EXISTS/ANY/ALL under
+   three-valued logic, and aggregate functions.
+
+   These are the semantics the paper calls "nested iteration semantics" and
+   treats as ground truth; both the reference evaluator and the physical
+   operators delegate here so that a disagreement between the two executors
+   can only come from plan structure, never from divergent scalar rules. *)
+
+module Value = Relalg.Value
+module Truth = Relalg.Truth
+open Sql.Ast
+
+(* SQL comparison: Unknown if either side is NULL. *)
+let cmp_values (op : cmp) (a : Value.t) (b : Value.t) : Truth.t =
+  if Value.is_null a || Value.is_null b then Truth.Unknown
+  else
+    let c = Value.compare a b in
+    Truth.of_bool
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+(* [x IN vs] with SQL semantics: True if some member matches, Unknown if no
+   member matches but some comparison was Unknown (NULLs), else False. *)
+let in_values (x : Value.t) (vs : Value.t list) : Truth.t =
+  Truth.disjunction (List.map (fun v -> cmp_values Eq x v) vs)
+
+(* [x op ANY vs] / [x op ALL vs]: existential / universal closure of the
+   comparison; ANY over the empty list is False, ALL over it is True. *)
+let quant_values (op : cmp) (quantifier : quantifier) (x : Value.t)
+    (vs : Value.t list) : Truth.t =
+  match quantifier with
+  | Any -> Truth.disjunction (List.map (fun v -> cmp_values op x v) vs)
+  | All -> Truth.conjunction (List.map (fun v -> cmp_values op x v) vs)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* SQL aggregates ignore NULLs; every aggregate except COUNT returns NULL on
+   an empty (or all-NULL) input.  The paper leans on both rules: MAX({}) =
+   NULL makes the non-COUNT algorithms drop unmatched outer tuples, while
+   COUNT({}) = 0 is exactly the value Kim's NEST-JA loses. *)
+let aggregate_values (a : agg) (column : Value.t list) : Value.t =
+  let non_null = List.filter (fun v -> not (Value.is_null v)) column in
+  match a with
+  | Count_star -> Value.Int (List.length column)
+  | Count _ -> Value.Int (List.length non_null)
+  | Max _ ->
+      List.fold_left
+        (fun acc v ->
+          if Value.is_null acc || Value.compare v acc > 0 then v else acc)
+        Value.Null non_null
+  | Min _ ->
+      List.fold_left
+        (fun acc v ->
+          if Value.is_null acc || Value.compare v acc < 0 then v else acc)
+        Value.Null non_null
+  | Sum _ -> (
+      match non_null with
+      | [] -> Value.Null
+      | first :: rest -> List.fold_left Value.add first rest)
+  | Avg _ -> (
+      match non_null with
+      | [] -> Value.Null
+      | vs ->
+          let total =
+            List.fold_left
+              (fun acc v ->
+                match Value.to_float v with
+                | Some f -> acc +. f
+                | None -> invalid_arg "AVG over non-numeric value")
+              0. vs
+          in
+          Value.Float (total /. float_of_int (List.length vs)))
+
+(* ------------------------------------------------------------------ *)
+(* Scalars under an environment                                        *)
+(* ------------------------------------------------------------------ *)
+
+let scalar (env : Env.t) = function
+  | Col c -> Env.lookup env c
+  | Lit v -> v

@@ -1,0 +1,29 @@
+(** Shared SQL evaluation semantics (three-valued comparisons, IN/ANY/ALL,
+    aggregates).  Both executors delegate here, so they can only disagree on
+    plan structure, never on scalar rules. *)
+
+(** SQL comparison: [Unknown] when either operand is NULL. *)
+val cmp_values :
+  Sql.Ast.cmp -> Relalg.Value.t -> Relalg.Value.t -> Relalg.Truth.t
+
+(** [in_values x vs]: True on a match; Unknown when no match but some
+    comparison was Unknown; else False. *)
+val in_values : Relalg.Value.t -> Relalg.Value.t list -> Relalg.Truth.t
+
+(** Existential ([Any]) / universal ([All]) closure of a comparison;
+    [Any] over [] is False, [All] over [] is True. *)
+val quant_values :
+  Sql.Ast.cmp ->
+  Sql.Ast.quantifier ->
+  Relalg.Value.t ->
+  Relalg.Value.t list ->
+  Relalg.Truth.t
+
+(** Apply an aggregate to a column of values.  NULLs are ignored;
+    COUNT(∅) = 0; every other aggregate is NULL on an empty (or all-NULL)
+    input — the paper's MAX({}) = NULL assumption.
+    @raise Invalid_argument for AVG over non-numeric values. *)
+val aggregate_values : Sql.Ast.agg -> Relalg.Value.t list -> Relalg.Value.t
+
+(** Evaluate a scalar under an environment.  @raise Env.Unbound *)
+val scalar : Env.t -> Sql.Ast.scalar -> Relalg.Value.t

@@ -1,0 +1,386 @@
+(* Volcano-style physical operators.
+
+   Every operator is a pull iterator carrying its output schema.  Operators
+   that touch stored relations do so through the pager, so measured page I/O
+   reflects plan structure.  Join methods are the two the paper discusses:
+   tuple nested loops (re-scanning the stored inner per outer tuple — cheap
+   when the inner fits in the buffer pool, quadratic in I/O when it does
+   not) and sort-merge (on equality keys, with many-to-many group handling).
+   Both come in inner and left-outer flavours; the left-outer variants are
+   the operation §5.2 requires for the COUNT bug fix. *)
+
+module Value = Relalg.Value
+module Truth = Relalg.Truth
+module Schema = Relalg.Schema
+module Row = Relalg.Row
+module Relation = Relalg.Relation
+module Heap_file = Storage.Heap_file
+module Pager = Storage.Pager
+
+type t = { schema : Schema.t; next : unit -> Row.t option }
+
+let schema t = t.schema
+
+let to_rows t =
+  let rec go acc = match t.next () with
+    | Some r -> go (r :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let to_relation t = Relation.make t.schema (to_rows t)
+
+let of_rows schema rows =
+  let remaining = ref rows in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | r :: rest ->
+        remaining := rest;
+        Some r
+  in
+  { schema; next }
+
+let of_relation rel = of_rows (Relation.schema rel) (Relation.rows rel)
+
+let scan (heap : Heap_file.t) : t =
+  { schema = Heap_file.schema heap; next = Heap_file.scan heap }
+
+let filter ~(pred : Row.t -> Truth.t) (input : t) : t =
+  let rec next () =
+    match input.next () with
+    | None -> None
+    | Some r -> (
+        match pred r with
+        | Truth.True -> Some r
+        | Truth.False | Truth.Unknown -> next ())
+  in
+  { schema = input.schema; next }
+
+let project ~idxs (input : t) : t =
+  {
+    schema = Schema.project input.schema idxs;
+    next =
+      (fun () ->
+        match input.next () with
+        | None -> None
+        | Some r -> Some (Row.project r idxs));
+  }
+
+(* Evaluate select-item-shaped scalar expressions; used for constant columns
+   if ever needed.  (Projection by positions is the common path.) *)
+
+let materialize pager (input : t) : Heap_file.t =
+  let heap = Heap_file.create pager input.schema in
+  let rec drain () =
+    match input.next () with
+    | Some r ->
+        Heap_file.append heap r;
+        drain ()
+    | None -> Heap_file.flush heap
+  in
+  drain ();
+  heap
+
+(* External sort; materializes, sorts, scans. *)
+let sort pager ?(dedup = Storage.External_sort.Keep_duplicates) ~key (input : t)
+    : t =
+  let heap = materialize pager input in
+  let sorted = Storage.External_sort.sort pager ~dedup ~key heap in
+  Heap_file.delete heap;
+  scan sorted
+
+let distinct pager (input : t) : t =
+  let key = List.init (Schema.arity input.schema) Fun.id in
+  sort pager ~dedup:Storage.External_sort.Drop_duplicates ~key input
+
+(* ------------------------------------------------------------------ *)
+(* Nested-loop joins                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Tuple nested loops: the stored inner relation is re-scanned once per
+   outer row (buffer pool permitting). *)
+let nested_loop_join ?(outer_join = false)
+    ~(theta : Row.t -> Row.t -> Truth.t) (left : t) (right : Heap_file.t) : t =
+  let right_schema = Heap_file.schema right in
+  let pad = Row.nulls (Schema.arity right_schema) in
+  let schema = Schema.append left.schema right_schema in
+  let current_left = ref None in
+  let right_scan = ref (fun () -> None) in
+  let matched = ref false in
+  let rec next () =
+    match !current_left with
+    | None -> (
+        match left.next () with
+        | None -> None
+        | Some l ->
+            current_left := Some l;
+            right_scan := Heap_file.scan right;
+            matched := false;
+            next ())
+    | Some l -> (
+        match !right_scan () with
+        | Some r -> (
+            match theta l r with
+            | Truth.True ->
+                matched := true;
+                Some (Row.append l r)
+            | Truth.False | Truth.Unknown -> next ())
+        | None ->
+            let emit_pad = outer_join && not !matched in
+            current_left := None;
+            if emit_pad then Some (Row.append l pad) else next ())
+  in
+  { schema; next }
+
+(* Index nested loops: probe a dense sorted index on the right side's join
+   column once per left row — the access path §5.2 warns can tempt a system
+   into joining before restricting. *)
+let index_nested_loop_join ?(outer_join = false)
+    ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key
+    ~(index : Storage.Index.t) ~(right_schema : Schema.t) (left : t) : t =
+  let pad = Row.nulls (Schema.arity right_schema) in
+  let schema = Schema.append left.schema right_schema in
+  let residual_ok l r =
+    match residual with None -> true | Some f -> Truth.to_bool (f l r)
+  in
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | r :: rest ->
+        pending := rest;
+        Some r
+    | [] -> (
+        match left.next () with
+        | None -> None
+        | Some l -> (
+            let matches =
+              List.filter_map
+                (fun r ->
+                  if residual_ok l r then Some (Row.append l r) else None)
+                (Storage.Index.lookup_eq index (Row.get l left_key))
+            in
+            match matches with
+            | [] -> if outer_join then Some (Row.append l pad) else next ()
+            | first :: rest ->
+                pending := rest;
+                Some first))
+  in
+  { schema; next }
+
+(* ------------------------------------------------------------------ *)
+(* Sort-merge join (equality keys)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Inputs must already be sorted on their key columns.  Handles
+   many-to-many matches by buffering the current right-side key group in
+   memory.  [residual] filters joined rows (non-key predicates); with
+   [outer_join], a left row whose group yields no residual-qualifying match
+   is emitted padded — the same semantics as the nested-loop outer join. *)
+let merge_join ?(outer_join = false)
+    ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key ~right_key
+    (left : t) (right : t) : t =
+  let right_arity = Schema.arity right.schema in
+  let pad = Row.nulls right_arity in
+  let schema = Schema.append left.schema right.schema in
+  let key_of idxs r = List.map (Row.get r) idxs in
+  let compare_keys a b =
+    List.fold_left2
+      (fun acc x y -> if acc <> 0 then acc else Value.compare x y)
+      0 a b
+  in
+  let residual_ok l r =
+    match residual with
+    | None -> true
+    | Some f -> Truth.to_bool (f l r)
+  in
+  (* Keys containing NULL never join (SQL semantics): skip such rows on both
+     sides ([outer_join] still pads the left ones). *)
+  let key_has_null k = List.exists Value.is_null k in
+  let right_row = ref (right.next ()) in
+  let right_group = ref [] (* current right key group, buffered *) in
+  let right_group_key = ref None in
+  let pending = ref [] in
+  let advance_right_group key =
+    (* Load into [right_group] all right rows with key = [key]; assumes the
+       right cursor is positioned at the first row with key >= [key]. *)
+    right_group := [];
+    right_group_key := Some key;
+    let rec loop () =
+      match !right_row with
+      | Some r when compare_keys (key_of right_key r) key = 0 ->
+          right_group := r :: !right_group;
+          right_row := right.next ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    right_group := List.rev !right_group
+  in
+  let rec skip_right_until key =
+    match !right_row with
+    | Some r
+      when key_has_null (key_of right_key r)
+           || compare_keys (key_of right_key r) key < 0 ->
+        right_row := right.next ();
+        skip_right_until key
+    | _ -> ()
+  in
+  let rec next () =
+    match !pending with
+    | r :: rest ->
+        pending := rest;
+        Some r
+    | [] -> (
+        match left.next () with
+        | None -> None
+        | Some l ->
+            let lk = key_of left_key l in
+            if key_has_null lk then
+              if outer_join then Some (Row.append l pad) else next ()
+            else begin
+              (match !right_group_key with
+              | Some gk when compare_keys gk lk = 0 -> ()
+              | _ ->
+                  skip_right_until lk;
+                  (match !right_row with
+                  | Some r when compare_keys (key_of right_key r) lk = 0 ->
+                      advance_right_group lk
+                  | _ ->
+                      right_group := [];
+                      right_group_key := Some lk));
+              let matches =
+                List.filter_map
+                  (fun r ->
+                    if residual_ok l r then Some (Row.append l r) else None)
+                  !right_group
+              in
+              match matches with
+              | [] -> if outer_join then Some (Row.append l pad) else next ()
+              | first :: rest ->
+                  pending := rest;
+                  Some first
+            end)
+  in
+  { schema; next }
+
+(* ------------------------------------------------------------------ *)
+(* Hash join (beyond the paper)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Classic in-memory hash join: build a table on the right side, probe per
+   left row.  This is the *modern* comparator — it assumes the build side
+   fits in memory, an assumption the 1987 cost model never makes, so the
+   planner only uses it when forced (see the bench ablation).  NULL keys
+   never match; [outer_join] pads unmatched left rows. *)
+let hash_join ?(outer_join = false)
+    ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key ~right_key
+    (left : t) (right : t) : t =
+  let pad = Row.nulls (Schema.arity right.schema) in
+  let schema = Schema.append left.schema right.schema in
+  let residual_ok l r =
+    match residual with None -> true | Some f -> Truth.to_bool (f l r)
+  in
+  let table : (Value.t list, Row.t list) Hashtbl.t = Hashtbl.create 64 in
+  let key_of idxs r = List.map (Row.get r) idxs in
+  let rec build () =
+    match right.next () with
+    | None -> ()
+    | Some r ->
+        let k = key_of right_key r in
+        if not (List.exists Value.is_null k) then
+          Hashtbl.replace table k
+            (r :: Option.value (Hashtbl.find_opt table k) ~default:[]);
+        build ()
+  in
+  build ();
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | r :: rest ->
+        pending := rest;
+        Some r
+    | [] -> (
+        match left.next () with
+        | None -> None
+        | Some l -> (
+            let k = key_of left_key l in
+            let matches =
+              if List.exists Value.is_null k then []
+              else
+                List.filter_map
+                  (fun r ->
+                    if residual_ok l r then Some (Row.append l r) else None)
+                  (List.rev
+                     (Option.value (Hashtbl.find_opt table k) ~default:[]))
+            in
+            match matches with
+            | [] -> if outer_join then Some (Row.append l pad) else next ()
+            | first :: rest ->
+                pending := rest;
+                Some first))
+  in
+  { schema; next }
+
+(* ------------------------------------------------------------------ *)
+(* Grouped aggregation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type agg_spec = {
+  fn : Sql.Ast.agg; (* which aggregate *)
+  arg : int option; (* input column position; None for COUNT-star *)
+}
+
+(* Streaming aggregation over input sorted by [group_key]; emits one row per
+   group: the group-key values followed by one value per [agg_spec].  When
+   [group_key] is empty, emits exactly one (possibly empty-input) row — SQL's
+   global-aggregate behaviour. *)
+let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
+    =
+  let key_of r = List.map (Row.get r) group_key in
+  let finish key members =
+    let members = List.rev members in
+    let agg_value spec =
+      let column =
+        match spec.arg with
+        | None -> List.map (fun _ -> Value.Int 1) members
+        | Some i -> List.map (fun r -> Row.get r i) members
+      in
+      Eval.aggregate_values spec.fn column
+    in
+    Row.of_list (key @ List.map agg_value aggs)
+  in
+  let current = ref None (* (key, members so far) *) in
+  let done_ = ref false in
+  let emitted_global = ref false in
+  let rec next () =
+    if !done_ then None
+    else
+      match input.next () with
+      | Some r -> (
+          let k = key_of r in
+          match !current with
+          | None ->
+              current := Some (k, [ r ]);
+              next ()
+          | Some (k', members) ->
+              if List.equal Value.equal k k' then begin
+                current := Some (k', r :: members);
+                next ()
+              end
+              else begin
+                current := Some (k, [ r ]);
+                Some (finish k' members)
+              end)
+      | None -> (
+          done_ := true;
+          match !current with
+          | Some (k, members) -> Some (finish k members)
+          | None ->
+              if group_key = [] && not !emitted_global then begin
+                emitted_global := true;
+                Some (finish [] [])
+              end
+              else None)
+  in
+  { schema; next }

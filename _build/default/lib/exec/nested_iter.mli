@@ -1,0 +1,26 @@
+(** Nested iteration over in-memory relations: the semantic oracle.
+
+    This is the System R evaluation strategy the paper treats as ground
+    truth ("matches the result obtained by nested iteration"); correlated
+    inner blocks are conceptually re-evaluated per outer tuple.  For the
+    paged, I/O-measured variant of the same strategy see
+    {!Sysr_iteration}. *)
+
+exception Runtime_error of string
+
+(** Evaluate a query block under an environment of outer bindings.
+    @raise Runtime_error on scalar subqueries returning several rows,
+    multi-column subqueries, or [Cmp_outer] in source queries. *)
+val eval_query :
+  lookup_relation:(string -> Relalg.Relation.t) ->
+  Env.t ->
+  Sql.Ast.query ->
+  Relalg.Relation.t
+
+(** Evaluate the SELECT clause over qualifying FROM-alias assignments
+    (exposed for the paged evaluator, which shares the logic). *)
+val eval_select :
+  qualifying:Env.t list -> Sql.Ast.query -> Relalg.Row.t list
+
+(** Run a whole (analyzed) query against a catalog. *)
+val run : Storage.Catalog.t -> Sql.Ast.query -> Relalg.Relation.t

@@ -1,0 +1,352 @@
+(* Physical plans: the tree the planner hands to the executor.
+
+   Plans exist only for canonical (transformed) queries and the temp-table
+   definitions of NEST-JA2; nested predicates never reach this layer.  Join
+   conditions are (left column, op, right column) triples; only equality
+   conditions may serve as sort-merge keys.  The executor compiles column
+   references to positions against each node's output schema, so plans stay
+   printable (EXPLAIN) while execution works on arrays. *)
+
+module Value = Relalg.Value
+module Truth = Relalg.Truth
+module Schema = Relalg.Schema
+module Row = Relalg.Row
+module Catalog = Storage.Catalog
+open Sql.Ast
+
+type join_method = Nested_loop | Sort_merge | Index_nl | Hash
+
+type join_kind = Inner | Left_outer
+
+type agg_item = { fn : agg; out_name : string }
+
+type node =
+  | Scan of string
+  | Rename of string * node
+      (* re-tag every output column's provenance: an aliased scan *)
+  | Filter of predicate list * node (* Cmp with Col/Lit operands only *)
+  | Project of col_ref list * node
+  | Distinct of node
+  | Sort of col_ref list * node
+  | Join of {
+      method_ : join_method;
+      kind : join_kind;
+      cond : (col_ref * cmp * col_ref) list;
+      residual : predicate list;
+      left : node;
+      right : node;
+    }
+  | Group_agg of { group_by : col_ref list; aggs : agg_item list; input : node }
+
+exception Plan_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Plan_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Schema computation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let find_col schema (c : col_ref) =
+  match c.table with
+  | Some rel -> Schema.find schema ~rel c.column
+  | None -> Schema.find schema c.column
+
+let agg_output_type schema (a : agg) : Value.ty =
+  match a with
+  | Count_star | Count _ -> Value.Tint
+  | Avg _ -> Value.Tfloat
+  | Max c | Min c | Sum c ->
+      (Schema.column schema (find_col schema c)).ty
+
+let rec output_schema (catalog : Catalog.t) (node : node) : Schema.t =
+  match node with
+  | Scan name -> Schema.rename_rel (Catalog.schema catalog name) name
+  | Rename (alias, input) -> Schema.rename_rel (output_schema catalog input) alias
+  | Filter (_, input) -> output_schema catalog input
+  | Project (cols, input) ->
+      let s = output_schema catalog input in
+      Schema.project s (List.map (find_col s) cols)
+  | Distinct input | Sort (_, input) -> output_schema catalog input
+  | Join { left; right; _ } ->
+      Schema.append (output_schema catalog left) (output_schema catalog right)
+  | Group_agg { group_by; aggs; input } ->
+      let s = output_schema catalog input in
+      let group_cols =
+        List.map (fun c -> Schema.column s (find_col s c)) group_by
+      in
+      let agg_cols =
+        List.map
+          (fun { fn; out_name } ->
+            { Schema.rel = "agg"; name = out_name; ty = agg_output_type s fn })
+          aggs
+      in
+      Schema.make (group_cols @ agg_cols)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_scalar schema = function
+  | Lit v -> fun (_ : Row.t) -> v
+  | Col c ->
+      let i = find_col schema c in
+      fun row -> Row.get row i
+
+let compile_predicate schema (p : predicate) : Row.t -> Truth.t =
+  match p with
+  | Cmp (a, op, b) ->
+      let fa = compile_scalar schema a and fb = compile_scalar schema b in
+      fun row -> Eval.cmp_values op (fa row) (fb row)
+  | Cmp_outer _ -> errf "outer-join predicate must be a join condition"
+  | Cmp_subq _ | In_subq _ | Not_in_subq _ | Exists _ | Not_exists _
+  | Quant _ ->
+      errf "nested predicate reached the physical planner"
+
+let compile_conjunction schema preds : Row.t -> Truth.t =
+  let compiled = List.map (compile_predicate schema) preds in
+  fun row -> Truth.conjunction (List.map (fun f -> f row) compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
+  let pager = Catalog.pager catalog in
+  match node with
+  | Scan name ->
+      let it = Iterator.scan (Catalog.heap catalog name) in
+      (* Present stored columns under the table's name so plan-level
+         references [name.col] resolve. *)
+      { it with schema = Schema.rename_rel it.schema name }
+  | Rename (alias, input) ->
+      let it = execute catalog input in
+      { it with schema = Schema.rename_rel it.schema alias }
+  | Filter (preds, input) ->
+      let it = execute catalog input in
+      Iterator.filter ~pred:(compile_conjunction it.schema preds) it
+  | Project (cols, input) ->
+      let it = execute catalog input in
+      Iterator.project ~idxs:(List.map (find_col it.schema) cols) it
+  | Distinct input -> Iterator.distinct pager (execute catalog input)
+  | Sort (cols, input) ->
+      let it = execute catalog input in
+      Iterator.sort pager ~key:(List.map (find_col it.schema) cols) it
+  | Join { method_; kind; cond; residual; left; right } -> (
+      let lit = execute catalog left in
+      let outer_join = kind = Left_outer in
+      match method_ with
+      | Index_nl ->
+          (* Right side must be a base-table scan with an index on the
+             single equality condition's column. *)
+          let name, rschema =
+            match right with
+            | Scan name ->
+                (name, Schema.rename_rel (Catalog.schema catalog name) name)
+            | Rename (alias, Scan name) ->
+                (name, Schema.rename_rel (Catalog.schema catalog name) alias)
+            | _ -> errf "index join requires a base-table scan on the right"
+          in
+          let lc, rc =
+            match cond with
+            | [ (lc, Eq, rc) ] -> (lc, rc)
+            | _ -> errf "index join requires exactly one equality condition"
+          in
+          let key_col = find_col rschema rc in
+          let index =
+            match Catalog.index_on catalog name ~key_col with
+            | Some idx -> idx
+            | None -> errf "no index on %s for the join column" name
+          in
+          let left_key = find_col lit.schema lc in
+          let joined_schema = Schema.append lit.schema rschema in
+          let residual_fn = compile_conjunction joined_schema residual in
+          let residual l r = residual_fn (Row.append l r) in
+          let it =
+            Iterator.index_nested_loop_join ~outer_join ~residual ~left_key
+              ~index ~right_schema:rschema lit
+          in
+          { it with schema = joined_schema }
+      | Nested_loop ->
+          (* The inner side must be stored so it can be re-scanned: scans use
+             the stored heap; other subtrees are materialized first (their
+             pages are written and the writes counted). *)
+          let right_heap, rschema =
+            match right with
+            | Scan name ->
+                let heap = Catalog.heap catalog name in
+                (heap, Schema.rename_rel (Storage.Heap_file.schema heap) name)
+            | Rename (alias, Scan name) ->
+                let heap = Catalog.heap catalog name in
+                (heap, Schema.rename_rel (Storage.Heap_file.schema heap) alias)
+            | _ ->
+                let heap = Iterator.materialize pager (execute catalog right) in
+                (heap, Storage.Heap_file.schema heap)
+          in
+          let joined_schema = Schema.append lit.schema rschema in
+          let cond_fns =
+            List.map
+              (fun (lc, op, rc) ->
+                let li = find_col lit.schema lc
+                and ri = find_col rschema rc in
+                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
+              cond
+          in
+          let residual_fn = compile_conjunction joined_schema residual in
+          let theta l r =
+            Truth.and_
+              (Truth.conjunction (List.map (fun f -> f l r) cond_fns))
+              (residual_fn (Row.append l r))
+          in
+          let it =
+            Iterator.nested_loop_join ~outer_join ~theta lit right_heap
+          in
+          { it with schema = joined_schema }
+      | Hash ->
+          let rit = execute catalog right in
+          let eq_cond, rest = List.partition (fun (_, op, _) -> op = Eq) cond in
+          if eq_cond = [] then
+            errf "hash join requires at least one equality condition";
+          let lit_schema = lit.schema in
+          let left_key =
+            List.map (fun (lc, _, _) -> find_col lit_schema lc) eq_cond
+          in
+          let right_key =
+            List.map (fun (_, _, rc) -> find_col rit.schema rc) eq_cond
+          in
+          let joined_schema = Schema.append lit.schema rit.schema in
+          let rest_fns =
+            List.map
+              (fun (lc, op, rc) ->
+                let li = find_col lit.schema lc
+                and ri = find_col rit.schema rc in
+                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
+              rest
+          in
+          let residual_fn = compile_conjunction joined_schema residual in
+          let residual l r =
+            Truth.and_
+              (Truth.conjunction (List.map (fun f -> f l r) rest_fns))
+              (residual_fn (Row.append l r))
+          in
+          let it =
+            Iterator.hash_join ~outer_join ~residual ~left_key ~right_key lit
+              rit
+          in
+          { it with schema = joined_schema }
+      | Sort_merge ->
+          let rit = execute catalog right in
+          let eq_cond, rest =
+            List.partition (fun (_, op, _) -> op = Eq) cond
+          in
+          if eq_cond = [] then
+            errf "sort-merge join requires at least one equality condition";
+          let left_key = List.map (fun (lc, _, _) -> find_col lit.schema lc) eq_cond in
+          let right_key =
+            List.map (fun (_, _, rc) -> find_col rit.schema rc) eq_cond
+          in
+          let joined_schema = Schema.append lit.schema rit.schema in
+          let rest_fns =
+            List.map
+              (fun (lc, op, rc) ->
+                let li = find_col lit.schema lc
+                and ri = find_col rit.schema rc in
+                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
+              rest
+          in
+          let residual_fn = compile_conjunction joined_schema residual in
+          let residual l r =
+            Truth.and_
+              (Truth.conjunction (List.map (fun f -> f l r) rest_fns))
+              (residual_fn (Row.append l r))
+          in
+          let it =
+            Iterator.merge_join ~outer_join ~residual ~left_key ~right_key lit
+              rit
+          in
+          { it with schema = joined_schema })
+  | Group_agg { group_by; aggs; input } ->
+      let it = execute catalog input in
+      let group_key = List.map (find_col it.schema) group_by in
+      let agg_specs =
+        List.map
+          (fun { fn; _ } ->
+            {
+              Iterator.fn;
+              arg = Option.map (find_col it.schema) (agg_arg fn);
+            })
+          aggs
+      in
+      let schema = output_schema catalog node in
+      Iterator.group_agg_sorted ~group_key ~aggs:agg_specs ~schema it
+
+let run catalog node : Relalg.Relation.t =
+  Iterator.to_relation (execute catalog node)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let join_method_name = function
+  | Nested_loop -> "nested-loop"
+  | Sort_merge -> "sort-merge"
+  | Index_nl -> "index-nested-loop"
+  | Hash -> "hash"
+
+let join_kind_name = function Inner -> "inner" | Left_outer -> "left-outer"
+
+let rec pp ?(indent = 0) ppf node =
+  let pad = String.make (indent * 2) ' ' in
+  let child = indent + 1 in
+  match node with
+  | Scan name -> Fmt.pf ppf "%sScan %s@." pad name
+  | Rename (alias, input) ->
+      Fmt.pf ppf "%sRename as %s@." pad alias;
+      pp ~indent:child ppf input
+  | Filter (preds, input) ->
+      Fmt.pf ppf "%sFilter %a@."
+        pad
+        Fmt.(list ~sep:(any " AND ") Sql.Pp.pp_predicate)
+        preds;
+      pp ~indent:child ppf input
+  | Project (cols, input) ->
+      Fmt.pf ppf "%sProject %a@." pad
+        Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
+        cols;
+      pp ~indent:child ppf input
+  | Distinct input ->
+      Fmt.pf ppf "%sDistinct@." pad;
+      pp ~indent:child ppf input
+  | Sort (cols, input) ->
+      Fmt.pf ppf "%sSort by %a@." pad
+        Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
+        cols;
+      pp ~indent:child ppf input
+  | Join { method_; kind; cond; residual; left; right } ->
+      Fmt.pf ppf "%s%s %s join on %a%a@." pad
+        (join_method_name method_)
+        (join_kind_name kind)
+        Fmt.(
+          list ~sep:(any " AND ") (fun ppf (l, op, r) ->
+              Fmt.pf ppf "%a %s %a" Sql.Pp.pp_col l (cmp_name op) Sql.Pp.pp_col
+                r))
+        cond
+        Fmt.(
+          if residual = [] then any ""
+          else fun ppf () ->
+            Fmt.pf ppf " residual %a"
+              (list ~sep:(any " AND ") Sql.Pp.pp_predicate)
+              residual)
+        ();
+      pp ~indent:child ppf left;
+      pp ~indent:child ppf right
+  | Group_agg { group_by; aggs; input } ->
+      Fmt.pf ppf "%sGroupAgg by [%a] computing [%a]@." pad
+        Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
+        group_by
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf { fn; out_name } ->
+              Fmt.pf ppf "%a AS %s" Sql.Pp.pp_agg fn out_name))
+        aggs;
+      pp ~indent:child ppf input
+
+let to_string node = Fmt.str "%a" (pp ~indent:0) node

@@ -1,0 +1,52 @@
+(** Physical plans for canonical queries and NEST-JA2 temp definitions.
+
+    Column references are compiled to positions against each node's output
+    schema at execution time, so plans remain printable (EXPLAIN). *)
+
+type join_method = Nested_loop | Sort_merge | Index_nl | Hash
+
+type join_kind = Inner | Left_outer
+
+type agg_item = { fn : Sql.Ast.agg; out_name : string }
+
+type node =
+  | Scan of string
+  | Rename of string * node
+      (** re-tag output provenance: an aliased scan *)
+  | Filter of Sql.Ast.predicate list * node
+      (** conjunction; [Cmp] with Col/Lit operands only *)
+  | Project of Sql.Ast.col_ref list * node
+  | Distinct of node
+  | Sort of Sql.Ast.col_ref list * node
+  | Join of {
+      method_ : join_method;
+      kind : join_kind;
+      cond : (Sql.Ast.col_ref * Sql.Ast.cmp * Sql.Ast.col_ref) list;
+      residual : Sql.Ast.predicate list;
+      left : node;
+      right : node;
+    }
+  | Group_agg of {
+      group_by : Sql.Ast.col_ref list;
+      aggs : agg_item list;
+      input : node;
+    }
+
+exception Plan_error of string
+
+(** Schema the node produces.  @raise Plan_error / Catalog.Unknown_table *)
+val output_schema : Storage.Catalog.t -> node -> Relalg.Schema.t
+
+(** Execute to an iterator (page traffic through the catalog's pager).
+    Sort-merge joins require plan-inserted [Sort]s (or born-sorted inputs);
+    [Group_agg] requires input sorted on [group_by].
+    @raise Plan_error on malformed plans. *)
+val execute : Storage.Catalog.t -> node -> Iterator.t
+
+(** [execute] and collect the rows. *)
+val run : Storage.Catalog.t -> node -> Relalg.Relation.t
+
+(** Indented EXPLAIN rendering. *)
+val pp : ?indent:int -> Format.formatter -> node -> unit
+
+val to_string : node -> string

@@ -1,0 +1,3 @@
+(** ORDER BY as a final presentation sort on the outermost result. *)
+
+val apply_order : Sql.Ast.query -> Relalg.Relation.t -> Relalg.Relation.t

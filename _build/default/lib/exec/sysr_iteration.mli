@@ -1,0 +1,11 @@
+(** Paged nested iteration: System R's strategy with honest page I/O.
+
+    FROM clauses scan heap files through the buffer pool; correlated
+    subqueries re-scan their stored relations once per qualifying outer
+    assignment (the cost the paper attacks); uncorrelated subqueries are
+    evaluated once, their value list is {e materialized to pages}, and each
+    membership probe re-reads it through the pool — Kim's type-N cost
+    regime.  Results are identical to {!Nested_iter} (property-tested). *)
+
+(** @raise Nested_iter.Runtime_error as the in-memory evaluator does. *)
+val run : Storage.Catalog.t -> Sql.Ast.query -> Relalg.Relation.t

@@ -1,0 +1,1 @@
+lib/optimizer/classify.ml: Fmt List Option Sql

@@ -1,0 +1,1 @@
+lib/optimizer/classify.mli: Fmt Sql

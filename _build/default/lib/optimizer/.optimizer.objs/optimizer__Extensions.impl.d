@@ -1,0 +1,1 @@
+lib/optimizer/extensions.ml: List Relalg Sql

@@ -1,0 +1,1 @@
+lib/optimizer/ja_shape.mli: Sql

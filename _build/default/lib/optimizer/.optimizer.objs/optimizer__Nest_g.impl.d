@@ -1,0 +1,1 @@
+lib/optimizer/nest_g.ml: Classify Extensions Fmt List Nest_ja2 Nest_n_j Program Relalg Sql String

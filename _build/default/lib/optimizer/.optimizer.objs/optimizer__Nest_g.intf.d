@@ -1,0 +1,1 @@
+lib/optimizer/nest_g.mli: Program Sql

@@ -1,0 +1,1 @@
+lib/optimizer/nest_ja.ml: Ja_shape List Program Sql

@@ -1,0 +1,1 @@
+lib/optimizer/nest_ja.mli: Program Sql

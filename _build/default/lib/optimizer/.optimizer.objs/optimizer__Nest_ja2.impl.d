@@ -1,0 +1,1 @@
+lib/optimizer/nest_ja2.ml: Ja_shape List Printf Program Sql String

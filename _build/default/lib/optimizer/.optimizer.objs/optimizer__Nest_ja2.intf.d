@@ -1,0 +1,1 @@
+lib/optimizer/nest_ja2.mli: Program Sql

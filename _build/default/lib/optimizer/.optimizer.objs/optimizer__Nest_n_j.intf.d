@@ -1,0 +1,1 @@
+lib/optimizer/nest_n_j.mli: Program Sql

@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Buffer Exec Float Fmt Fun List Option Program Relalg Sql Storage String

@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Exec Program Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/optimizer/program.ml: Fmt List Sql

@@ -1,0 +1,1 @@
+lib/optimizer/program.mli: Fmt Sql

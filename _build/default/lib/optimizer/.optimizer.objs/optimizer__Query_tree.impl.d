@@ -1,0 +1,1 @@
+lib/optimizer/query_tree.ml: Char Classify Fmt List Printf Sql String

@@ -1,0 +1,1 @@
+lib/optimizer/query_tree.mli: Classify Fmt Sql

@@ -1,0 +1,1 @@
+lib/optimizer/rename.ml: List Printf Sql String

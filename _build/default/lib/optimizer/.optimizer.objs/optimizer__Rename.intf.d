@@ -1,0 +1,1 @@
+lib/optimizer/rename.mli: Sql

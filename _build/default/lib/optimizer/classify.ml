@@ -1,0 +1,67 @@
+(* Kim's classification of nested predicates (§2 of the paper).
+
+   For a nested predicate with inner block Q:
+   - type-A : Q uncorrelated, SELECT is an aggregate          -> constant
+   - type-N : Q uncorrelated, SELECT is a plain column        -> list of values
+   - type-J : Q correlated,   SELECT is a plain column
+   - type-JA: Q correlated,   SELECT is an aggregate
+
+   "Correlated" means Q contains a join predicate referencing a relation not
+   bound in Q's own FROM clause (after analysis every reference is
+   qualified, so this is exactly [Ast.free_tables Q <> {}]).  Classification
+   looks only at the inner block: in the recursive NEST-G procedure the
+   deeper levels have already been merged into it, so a "trans-aggregate"
+   correlation shows up here as an inherited free reference. *)
+
+open Sql.Ast
+
+type t = Type_a | Type_n | Type_j | Type_ja
+
+let name = function
+  | Type_a -> "type-A"
+  | Type_n -> "type-N"
+  | Type_j -> "type-J"
+  | Type_ja -> "type-JA"
+
+let pp ppf t = Fmt.string ppf (name t)
+
+(* The nested-predicate forms the transformation algorithms accept directly:
+   scalar comparison and (NOT) IN.  EXISTS/ANY/ALL first go through the §8
+   extension rewrites. *)
+let inner_block = function
+  | Cmp_subq (_, _, sub) | In_subq (_, sub) | Not_in_subq (_, sub) -> Some sub
+  | Exists sub | Not_exists sub | Quant (_, _, _, sub) -> Some sub
+  | Cmp _ | Cmp_outer _ -> None
+
+let classify_block (sub : query) : t =
+  let correlated = is_correlated sub in
+  let aggregated = select_has_agg sub in
+  match aggregated, correlated with
+  | true, true -> Type_ja
+  | true, false -> Type_a
+  | false, true -> Type_j
+  | false, false -> Type_n
+
+let classify_predicate (p : predicate) : t option =
+  Option.map classify_block (inner_block p)
+
+(* The classification of a whole (possibly deeply nested) query: the most
+   complex class among its nested predicates, where JA > J > A > N reflects
+   transformation difficulty.  [None] for flat queries. *)
+let rank = function Type_n -> 0 | Type_a -> 1 | Type_j -> 2 | Type_ja -> 3
+
+let rec classify_query (q : query) : t option =
+  let candidates =
+    List.concat_map
+      (fun p ->
+        match inner_block p with
+        | None -> []
+        | Some sub ->
+            Option.to_list (classify_predicate p)
+            @ Option.to_list (classify_query sub))
+      q.where
+  in
+  match candidates with
+  | [] -> None
+  | c :: cs ->
+      Some (List.fold_left (fun a b -> if rank b > rank a then b else a) c cs)

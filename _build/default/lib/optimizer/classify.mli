@@ -1,0 +1,29 @@
+(** Kim's classification of nested predicates (§2 of the paper).
+
+    For the inner block Q of a nested predicate:
+    {ul
+    {- type-A: uncorrelated, SELECT is a single aggregate → constant;}
+    {- type-N: uncorrelated, plain SELECT → list of values;}
+    {- type-J: correlated, plain SELECT;}
+    {- type-JA: correlated, SELECT is a single aggregate.}}
+
+    "Correlated" = Q references a table not bound in its own FROM clause
+    (after analysis this is exactly [Ast.free_tables Q <> {}]). *)
+
+type t = Type_a | Type_n | Type_j | Type_ja
+
+val name : t -> string
+val pp : t Fmt.t
+
+(** The inner query block of a nested predicate, if any. *)
+val inner_block : Sql.Ast.predicate -> Sql.Ast.query option
+
+(** Classify an inner block in isolation. *)
+val classify_block : Sql.Ast.query -> t
+
+(** Classify a nested predicate ([None] for flat predicates). *)
+val classify_predicate : Sql.Ast.predicate -> t option
+
+(** Most complex class among all nested predicates at any depth,
+    JA > J > A > N; [None] for flat queries. *)
+val classify_query : Sql.Ast.query -> t option

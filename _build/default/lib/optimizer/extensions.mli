@@ -1,0 +1,14 @@
+(** §8 extension rewrites: EXISTS / NOT EXISTS / ANY / ALL to the scalar
+    and set-containment forms the transformation algorithms accept
+    (EXISTS → 0 < COUNT; ordering quantifiers → MIN/MAX; =ANY → IN;
+    !=ANY → NOT IN as printed in the paper).  Deviations from the paper's
+    letter are documented in the implementation header and DESIGN.md. *)
+
+exception Unsupported of string
+
+(** Rewrite one predicate (identity on non-quantified predicates).
+    @raise Unsupported for [= ALL], which the paper does not cover. *)
+val rewrite_predicate : Sql.Ast.predicate -> Sql.Ast.predicate
+
+(** Apply the rewrites at every nesting level. *)
+val rewrite_query : Sql.Ast.query -> Sql.Ast.query

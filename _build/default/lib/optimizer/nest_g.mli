@@ -1,0 +1,30 @@
+(** The recursive general transformation (§9, procedure nest_g): postorder
+    over the query tree, so inner blocks are canonical — and have inherited
+    any deeper ("trans-aggregate") correlations — before classification.
+    Type-A blocks become one-row temps; type-N/J merge via NEST-N-J;
+    type-JA goes through NEST-JA2. *)
+
+exception Unsupported of string
+
+(** How to treat the multiplicity unsoundness NEST-N-J inherits from Kim's
+    Lemma 1 when an IN-block is merged below a COUNT/SUM/AVG aggregate:
+    [Safe] (default) dedup-merges the uncorrelated case through a DISTINCT
+    temp and refuses the correlated case; [Paper] reproduces the published
+    algorithm verbatim, wrong answers included. *)
+type semantics = Safe | Paper
+
+(** Transform a nested query of arbitrary depth into a canonical program.
+    [fresh] allocates temp-table names.  [rewrite_not_in] enables the
+    beyond-the-paper NOT IN → COUNT rewrite (NULL caveat in DESIGN.md).
+    [on_step] receives a human-readable trace line for every action the
+    recursion takes (sec.-8 rewrite, NEST-N-J merge, type-A
+    materialization, NEST-JA2 application) in postorder.
+    @raise Unsupported, [Ja_shape.Not_ja], [Nest_n_j.Not_applicable] or
+    [Extensions.Unsupported] on shapes outside the paper's algorithms. *)
+val transform :
+  ?rewrite_not_in:bool ->
+  ?semantics:semantics ->
+  ?on_step:(string -> unit) ->
+  fresh:(unit -> string) ->
+  Sql.Ast.query ->
+  Program.t

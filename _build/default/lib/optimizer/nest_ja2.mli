@@ -1,0 +1,32 @@
+(** Algorithm NEST-JA2 (§6 of the paper): the corrected type-JA
+    transformation.
+
+    Step 1 projects the outer correlation columns DISTINCT (restricted by
+    the outer block's simple predicates); step 2 builds the aggregate temp
+    by joining the inner side with that projection — a LEFT OUTER join via
+    a restricted+projected TEMP2 when the aggregate is COUNT (COUNT-star is
+    converted to COUNT over the inner join column, §5.2.1) — grouped by the
+    outer columns; step 3 rewrites the query with equality joins against
+    the temp. *)
+
+type result = { temps : Program.temp list; rewritten : Sql.Ast.query }
+
+(** [transform q pred ~fresh ()] rewrites the type-JA predicate [pred] of
+    [q]; [fresh] allocates temp names (TEMP1 [, TEMP2], TEMP3 in order).
+
+    [rel_of_alias] resolves the correlated alias when an {e enclosing}
+    block binds it (NEST-G's trans-aggregate case); by default only [q]'s
+    FROM is consulted.
+
+    [project_outer:false] skips step 1's DISTINCT — the still-broken §5.4
+    intermediate variant, kept for the paper's duplicates table.
+
+    @raise Ja_shape.Not_ja when [pred] is not type-JA shaped. *)
+val transform :
+  Sql.Ast.query ->
+  Sql.Ast.predicate ->
+  fresh:(unit -> string) ->
+  ?rel_of_alias:(string -> string option) ->
+  ?project_outer:bool ->
+  unit ->
+  result

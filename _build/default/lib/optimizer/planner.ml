@@ -1,0 +1,520 @@
+(* Physical planning of canonical queries and transformed programs.
+
+   This is the "query optimizer such as [SEL 79]" role the paper hands its
+   canonical queries to: a left-deep join tree in FROM order with a
+   cost-based choice between nested-loop and sort-merge for every join,
+   single-table restrictions pushed below joins, interesting orders tracked
+   so that born-sorted temp tables (the §7.4 savings) skip re-sorting, and
+   GROUP BY / DISTINCT implemented by sorting unless the input already has
+   the order.
+
+   [run_program] materializes a transformed program: each temp definition is
+   planned, executed and registered in the catalog (with its column names
+   and order metadata), then the main query runs.  Measured page I/O of the
+   whole pipeline is the experimental counterpart of the §7 cost model. *)
+
+module Value = Relalg.Value
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+module Catalog = Storage.Catalog
+open Sql.Ast
+
+exception Planning_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Planning_error s)) fmt
+
+type join_choice = Auto | Force_nl | Force_merge | Force_hash
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality / page estimation (Selinger-style defaults)             *)
+(* ------------------------------------------------------------------ *)
+
+let default_filter_selectivity = Storage.Stats.default_range_selectivity
+
+(* Selectivity of a pushed-down filter against base-table statistics. *)
+let filter_selectivity_of catalog ~rel schema (p : predicate) : float =
+  let col_stats (c : col_ref) =
+    match Schema.find_opt schema ?rel:c.table c.column with
+    | Some i -> Some (Storage.Stats.column (Catalog.stats catalog rel) i)
+    | None -> None
+    | exception Schema.Ambiguous _ -> None
+  in
+  match p with
+  | Cmp (Col c, op, Lit v) | Cmp (Lit v, op, Col c) -> (
+      match col_stats c with
+      | Some cs -> Storage.Stats.literal_selectivity cs (
+          match p with Cmp (Lit _, _, Col _) -> flip_cmp op | _ -> op) v
+      | None -> default_filter_selectivity)
+  | _ -> default_filter_selectivity
+
+let est_pages_of_rows catalog ~rows schema =
+  let width = float_of_int (Schema.tuple_width_estimate schema) in
+  let page = float_of_int (Storage.Pager.page_bytes (Catalog.pager catalog)) in
+  Float.max 1. (ceil (rows *. width /. page))
+
+(* ------------------------------------------------------------------ *)
+(* Lowering state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  node : Exec.Plan.node;
+  tables : string list; (* aliases joined so far *)
+  schema : Schema.t;
+  sorted : col_ref list option; (* current physical order, if known *)
+  est_rows : float;
+  est_pages : float;
+}
+
+let scalar_tables = function
+  | Col { table = Some t; _ } -> [ t ]
+  | Col { table = None; _ } | Lit _ -> []
+
+let pred_tables = function
+  | Cmp (a, _, b) | Cmp_outer (a, _, b) -> scalar_tables a @ scalar_tables b
+  | Cmp_subq _ | In_subq _ | Not_in_subq _ | Exists _ | Not_exists _
+  | Quant _ ->
+      errf "nested predicate reached the planner (transform first)"
+
+let sort_cost ~b p = if p <= 1. then 0. else 2. *. p *. ceil (log p /. log (float_of_int (b - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Building one join step                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Make a base state for FROM item [f], pushing its single-table filters. *)
+let base_state catalog (f : from_item) (filters : predicate list) : state =
+  let alias = from_alias f in
+  let scan =
+    if String.equal alias f.rel then Exec.Plan.Scan f.rel
+    else Exec.Plan.Rename (alias, Exec.Plan.Scan f.rel)
+  in
+  let schema = Exec.Plan.output_schema catalog scan in
+  let rows = float_of_int (Catalog.tuples catalog f.rel) in
+  let node, rows =
+    match filters with
+    | [] -> (scan, rows)
+    | fs ->
+        let selectivity =
+          List.fold_left
+            (fun acc p ->
+              acc *. filter_selectivity_of catalog ~rel:f.rel schema p)
+            1. fs
+        in
+        (Exec.Plan.Filter (fs, scan), Float.max 1. (rows *. selectivity))
+  in
+  let sorted =
+    Option.map
+      (fun positions ->
+        List.map
+          (fun i ->
+            let c = Schema.column schema i in
+            { table = Some c.rel; column = c.name })
+          positions)
+      (Catalog.sorted_on catalog f.rel)
+  in
+  {
+    node;
+    tables = [ alias ];
+    schema;
+    sorted;
+    est_rows = rows;
+    est_pages = float_of_int (Catalog.pages catalog f.rel);
+  }
+
+(* Split the conditions that connect [left] with table [alias]. *)
+let connecting_conds conds ~left_tables ~alias =
+  List.partition
+    (fun p ->
+      let tabs = List.sort_uniq String.compare (pred_tables p) in
+      List.mem alias tabs
+      && List.for_all (fun t -> t = alias || List.mem t left_tables) tabs
+      && List.exists (fun t -> t <> alias) tabs)
+    conds
+
+(* Normalize a connecting condition into (left_col, op, right_col) with the
+   right side on [alias]. *)
+let orient_cond ~alias = function
+  | Cmp (Col a, op, Col b) | Cmp_outer (Col a, op, Col b) ->
+      if a.table = Some alias then (b, flip_cmp op, a)
+      else if b.table = Some alias then (a, op, b)
+      else errf "condition does not touch the joined table"
+  | _ -> errf "join condition must compare two columns"
+
+let join_step catalog ~(force : join_choice) (left : state) (right_f : from_item)
+    (conds : predicate list) (filters : predicate list) : state =
+  let alias = from_alias right_f in
+  let right = base_state catalog right_f filters in
+  let outer_join = List.exists (function Cmp_outer _ -> true | _ -> false) conds in
+  (if outer_join then
+     (* Generated outer joins always preserve the accumulated left side. *)
+     List.iter
+       (function
+         | Cmp_outer (Col l, _, _) when List.mem (Option.get l.table) left.tables
+           ->
+             ()
+         | Cmp_outer _ -> errf "outer-join predicate must preserve the left side"
+         | _ -> ())
+       conds);
+  let oriented = List.map (orient_cond ~alias) conds in
+  let eq_conds = List.filter (fun (_, op, _) -> op = Eq) oriented in
+  let b = Storage.Pager.buffer_pages (Catalog.pager catalog) in
+  (* Cost estimates for the two methods. *)
+  let nl_cost =
+    let rescan =
+      if right.est_pages <= float_of_int (b - 1) then right.est_pages
+      else left.est_rows *. right.est_pages
+    in
+    left.est_pages +. rescan
+  in
+  let left_key = List.map (fun (l, _, _) -> l) eq_conds in
+  let right_key = List.map (fun (_, _, r) -> r) eq_conds in
+  let left_sorted = left.sorted <> None && left.sorted = Some left_key in
+  let right_sorted = right.sorted <> None && right.sorted = Some right_key in
+  let merge_cost =
+    if eq_conds = [] then infinity
+    else
+      (if left_sorted then 0. else sort_cost ~b left.est_pages)
+      +. (if right_sorted then 0. else sort_cost ~b right.est_pages)
+      +. left.est_pages +. right.est_pages
+  in
+  (* Index path (inner joins only): one equality condition probes an
+     indexed base-table column; every other condition and any pushed right-
+     side filter becomes a residual applied to the fetched matches.  Under a
+     LEFT OUTER join moving the restriction above the join would change
+     semantics — the very trap §5.2 warns about — so the index path is
+     never taken there when restrictions exist. *)
+  let index_candidate =
+    if outer_join && (filters <> [] || List.length oriented > 1) then None
+    else
+      List.find_map
+        (fun (lc, op, rc) ->
+          if op <> Eq then None
+          else
+            match Schema.find_opt right.schema ?rel:rc.table rc.column with
+            | Some key_col -> (
+                match Catalog.index_on catalog right_f.rel ~key_col with
+                | Some idx ->
+                    let probes = left.est_rows in
+                    (* Each probe: binary search of the index pages plus one
+                       (potentially random) data-page fetch per matching
+                       row. *)
+                    let matches_per_probe =
+                      let cs =
+                        Storage.Stats.column
+                          (Catalog.stats catalog right_f.rel)
+                          key_col
+                      in
+                      if cs.Storage.Stats.distinct > 0 then
+                        float_of_int (Catalog.tuples catalog right_f.rel)
+                        /. float_of_int cs.Storage.Stats.distinct
+                      else 1.
+                    in
+                    let probe_cost =
+                      ceil
+                        (log (float_of_int (max 2 (Storage.Index.pages idx)))
+                        /. log 2.)
+                      +. matches_per_probe
+                    in
+                    Some
+                      ( (lc, op, rc),
+                        left.est_pages +. (probes *. probe_cost) )
+                | None -> None)
+            | None | (exception Relalg.Schema.Ambiguous _) -> None)
+        oriented
+  in
+  let method_ =
+    match force with
+    | Force_hash when eq_conds <> [] -> `Hash
+    | Force_merge when eq_conds <> [] -> `Merge
+    | Force_merge | Force_nl | Force_hash -> `Nl
+    | Auto -> (
+        let best_of_two = if merge_cost < nl_cost then `Merge else `Nl in
+        let best_cost = Float.min merge_cost nl_cost in
+        match index_candidate with
+        | Some (cond, c) when c < best_cost -> `Index cond
+        | _ -> best_of_two)
+  in
+  let use_merge = method_ = `Merge in
+  let kind = if outer_join then Exec.Plan.Left_outer else Exec.Plan.Inner in
+  (* Selinger-style join cardinality: cross product scaled by 1/max(distinct)
+     per equality condition when the right side is a base table with
+     statistics; non-equality joins use the classic default. *)
+  let est_rows =
+    let cross = left.est_rows *. right.est_rows in
+    if eq_conds = [] then
+      Float.max 1. (cross *. default_filter_selectivity)
+    else
+      let selectivity =
+        List.fold_left
+          (fun acc (_, _, (rc : col_ref)) ->
+            match Schema.find_opt right.schema ?rel:rc.table rc.column with
+            | Some i ->
+                let cs = Storage.Stats.column (Catalog.stats catalog right_f.rel) i in
+                acc *. Storage.Stats.join_selectivity cs cs
+            | None -> acc *. Storage.Stats.default_eq_selectivity
+            | exception Schema.Ambiguous _ ->
+                acc *. Storage.Stats.default_eq_selectivity)
+          1. eq_conds
+      in
+      Float.max 1. (cross *. selectivity)
+  in
+  let schema = Schema.append left.schema right.schema in
+  let node, sorted =
+    match method_ with
+    | `Hash ->
+        ( Exec.Plan.Join
+            {
+              method_ = Exec.Plan.Hash;
+              kind;
+              cond = oriented;
+              residual = [];
+              left = left.node;
+              right = right.node;
+            },
+          left.sorted )
+    | `Index indexed_cond ->
+        (* All remaining conditions and the right-side restrictions apply as
+           residuals on the fetched matches; the right node is the raw
+           scan. *)
+        let residual =
+          List.filter_map
+            (fun (lc, op, rc) ->
+              if (lc, op, rc) = indexed_cond then None
+              else Some (Cmp (Col lc, op, Col rc)))
+            oriented
+          @ filters
+        in
+        let raw_scan =
+          if String.equal alias right_f.rel then Exec.Plan.Scan right_f.rel
+          else Exec.Plan.Rename (alias, Exec.Plan.Scan right_f.rel)
+        in
+        ( Exec.Plan.Join
+            {
+              method_ = Exec.Plan.Index_nl;
+              kind;
+              cond = [ indexed_cond ];
+              residual;
+              left = left.node;
+              right = raw_scan;
+            },
+          left.sorted )
+    | `Merge | `Nl ->
+    if use_merge then
+      let lnode =
+        if left_sorted then left.node else Exec.Plan.Sort (left_key, left.node)
+      in
+      let rnode =
+        if right_sorted then right.node
+        else Exec.Plan.Sort (right_key, right.node)
+      in
+      ( Exec.Plan.Join
+          {
+            method_ = Exec.Plan.Sort_merge;
+            kind;
+            cond = oriented;
+            residual = [];
+            left = lnode;
+            right = rnode;
+          },
+        Some left_key )
+    else
+      ( Exec.Plan.Join
+          {
+            method_ = Exec.Plan.Nested_loop;
+            kind;
+            cond = oriented;
+            residual = [];
+            left = left.node;
+            right = right.node;
+          },
+        left.sorted )
+  in
+  {
+    node;
+    tables = alias :: left.tables;
+    schema;
+    sorted;
+    est_rows;
+    est_pages = est_pages_of_rows catalog ~rows:est_rows schema;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-query lowering                                                *)
+(* ------------------------------------------------------------------ *)
+
+type lowered = { plan : Exec.Plan.node; out_sorted : int list option }
+
+let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
+  if q.from = [] then errf "query with empty FROM";
+  if List.exists predicate_has_subquery q.where then
+    errf "query still contains nested predicates (transform it first)";
+  (* Partition predicates: single-table filters vs join conditions. *)
+  let filters_of alias =
+    List.filter
+      (fun p ->
+        match p with
+        | Cmp _ ->
+            let tabs = List.sort_uniq String.compare (pred_tables p) in
+            tabs = [ alias ]
+        | _ -> false)
+      q.where
+  in
+  let is_filter p =
+    match p with
+    | Cmp _ ->
+        (match List.sort_uniq String.compare (pred_tables p) with
+        | [ _ ] -> true
+        | [] -> true (* constant predicate: evaluate on first scan *)
+        | _ -> false)
+    | _ -> false
+  in
+  let join_conds = List.filter (fun p -> not (is_filter p)) q.where in
+  let first, rest =
+    match q.from with f :: rest -> (f, rest) | [] -> assert false
+  in
+  let constant_preds =
+    List.filter
+      (fun p -> match p with Cmp _ -> pred_tables p = [] | _ -> false)
+      q.where
+  in
+  let state0 =
+    base_state catalog first (filters_of (from_alias first) @ constant_preds)
+  in
+  let state, leftover =
+    List.fold_left
+      (fun (st, conds) f ->
+        let alias = from_alias f in
+        let mine, others =
+          connecting_conds conds ~left_tables:st.tables ~alias
+        in
+        (join_step catalog ~force st f mine (filters_of alias), others))
+      (state0, join_conds) rest
+  in
+  (* Conditions never picked up (e.g. referencing one table twice through a
+     self-join alias) become residual filters on top. *)
+  let state =
+    match leftover with
+    | [] -> state
+    | ps -> { state with node = Exec.Plan.Filter (ps, state.node) }
+  in
+  (* GROUP BY / aggregates *)
+  let has_agg = select_has_agg q in
+  let state =
+    if has_agg || q.group_by <> [] then begin
+      let aggs =
+        List.filter_map
+          (function
+            | Sel_agg a ->
+                Some
+                  {
+                    Exec.Plan.fn = a;
+                    out_name = Program.item_output_name (Sel_agg a);
+                  }
+            | Sel_col _ -> None
+            | Sel_star -> errf "SELECT * in a canonical query")
+          q.select
+      in
+      let sorted_ok = q.group_by <> [] && state.sorted = Some q.group_by in
+      let input =
+        if q.group_by = [] || sorted_ok then state.node
+        else Exec.Plan.Sort (q.group_by, state.node)
+      in
+      let node =
+        Exec.Plan.Group_agg { group_by = q.group_by; aggs; input }
+      in
+      let schema = Exec.Plan.output_schema catalog node in
+      {
+        state with
+        node;
+        schema;
+        sorted = (if q.group_by = [] then None else Some q.group_by);
+        est_rows = Float.max 1. (state.est_rows /. 3.);
+        est_pages = est_pages_of_rows catalog ~rows:state.est_rows schema;
+      }
+    end
+    else state
+  in
+  (* Final projection, in select order. *)
+  let out_cols =
+    List.map
+      (function
+        | Sel_col c -> c
+        | Sel_agg a ->
+            {
+              table = Some "agg";
+              column = Program.item_output_name (Sel_agg a);
+            }
+        | Sel_star -> errf "SELECT * in a canonical query")
+      q.select
+  in
+  let node = Exec.Plan.Project (out_cols, state.node) in
+  let node = if q.distinct then Exec.Plan.Distinct node else node in
+  (* Output order: after DISTINCT the rows are fully sorted by all output
+     columns; otherwise the pre-projection order survives when its columns
+     are a prefix of the projection. *)
+  let out_sorted =
+    if q.distinct then Some (List.init (List.length out_cols) Fun.id)
+    else
+      match state.sorted with
+      | None -> None
+      | Some sort_cols ->
+          let rec prefix_positions i = function
+            | [] -> Some []
+            | c :: rest ->
+                if i < List.length out_cols && List.nth out_cols i = c then
+                  Option.map (fun tl -> i :: tl) (prefix_positions (i + 1) rest)
+                else None
+          in
+          prefix_positions 0 sort_cols
+  in
+  { plan = node; out_sorted }
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Materialize one temp definition and register it under its name with the
+   program's column names. *)
+let materialize_temp ?(force = Auto) catalog ({ Program.name; def } : Program.temp) =
+  let { plan; out_sorted } = lower ~force catalog def in
+  let result = Exec.Plan.run catalog plan in
+  let names = Program.output_column_names def in
+  let cols = Schema.columns (Relation.schema result) in
+  if List.length names <> List.length cols then
+    errf "temp %s: %d column names for %d columns" name (List.length names)
+      (List.length cols);
+  let schema =
+    Schema.of_columns ~rel:name
+      (List.map2 (fun n (c : Schema.column) -> (n, c.ty)) names cols)
+  in
+  let renamed = Relation.make schema (Relation.rows result) in
+  Catalog.register_relation ?sorted_on:out_sorted catalog name renamed
+
+(* Run a whole transformed program: temps in order, then the main query.
+   Returns the result; created temps stay registered (callers can inspect
+   them — the paper's tables show TEMP contents — and drop them with
+   [drop_temps]). *)
+let run_program ?(force = Auto) catalog (p : Program.t) : Relation.t =
+  List.iter (materialize_temp ~force catalog) p.temps;
+  let { plan; _ } = lower ~force catalog p.main in
+  Exec.Plan.run catalog plan
+
+let drop_temps catalog (p : Program.t) =
+  List.iter (fun { Program.name; _ } -> Catalog.drop catalog name) p.temps
+
+(* EXPLAIN: the full pipeline as text. *)
+let explain ?(force = Auto) catalog (p : Program.t) : string =
+  let buf = Buffer.create 256 in
+  let ppf = Fmt.with_buffer buf in
+  List.iter
+    (fun ({ Program.name; def } : Program.temp) ->
+      let { plan; _ } = lower ~force catalog def in
+      Fmt.pf ppf "temp %s:@.%a@." name (Exec.Plan.pp ~indent:1) plan;
+      (* materialize so later defs can resolve this temp *)
+      materialize_temp ~force catalog { Program.name; def })
+    p.temps;
+  let { plan; _ } = lower ~force catalog p.main in
+  Fmt.pf ppf "main:@.%a" (Exec.Plan.pp ~indent:1) plan;
+  Fmt.flush ppf ();
+  drop_temps catalog p;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Physical planning and execution of canonical queries and transformed
+    programs — the "[SEL 79]-style optimizer" the paper hands its canonical
+    queries to.
+
+    Left-deep join trees in FROM order; a cost-based choice between
+    nested-loop and sort-merge per join; restrictions pushed below joins;
+    interesting orders tracked so born-sorted temps (§7.4) skip re-sorting;
+    GROUP BY / DISTINCT by sorting unless the order already holds. *)
+
+exception Planning_error of string
+
+type join_choice = Auto | Force_nl | Force_merge | Force_hash
+(** [Force_hash] selects the beyond-the-paper in-memory hash join. *)
+
+type lowered = {
+  plan : Exec.Plan.node;
+  out_sorted : int list option;
+      (** output column positions the result is sorted on, if known *)
+}
+
+(** Lower a canonical (subquery-free) query to a physical plan.
+    @raise Planning_error on nested predicates or malformed shapes. *)
+val lower : ?force:join_choice -> Storage.Catalog.t -> Sql.Ast.query -> lowered
+
+(** Plan, execute and register one temp definition under its program name
+    (column names from [Program.output_column_names], order metadata from
+    the plan). *)
+val materialize_temp :
+  ?force:join_choice -> Storage.Catalog.t -> Program.temp -> unit
+
+(** Run a whole program: temps in order, then the main query.  Temps stay
+    registered (the paper's tables print their contents); remove them with
+    {!drop_temps}. *)
+val run_program :
+  ?force:join_choice -> Storage.Catalog.t -> Program.t -> Relalg.Relation.t
+
+val drop_temps : Storage.Catalog.t -> Program.t -> unit
+
+(** Physical plans of the whole pipeline as text (materializes and then
+    drops the temps so later definitions can be planned). *)
+val explain : ?force:join_choice -> Storage.Catalog.t -> Program.t -> string

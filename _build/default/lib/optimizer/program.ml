@@ -1,0 +1,52 @@
+(* Transformed programs: ordered temporary-table definitions plus a final
+   canonical query.
+
+   NEST-JA2 is not a pure query-to-query rewrite — it materializes
+   intermediate tables (the paper's TEMP1/TEMP2/TEMP3).  A [Program.t] is
+   the output of transformation: evaluate the temp definitions in order,
+   registering each in the catalog, then evaluate the main query.  Temp
+   definitions stay in the same SQL AST (with GROUP BY and the [Cmp_outer]
+   predicate), which lets EXPLAIN print transformed queries exactly the way
+   the paper prints them. *)
+
+open Sql.Ast
+
+type temp = { name : string; def : query }
+
+type t = { temps : temp list; main : query }
+
+let flat q = { temps = []; main = q }
+
+let add_temp t temp = { t with temps = t.temps @ [ temp ] }
+
+(* Output column name of a select item; must agree with
+   [Sql.Analyzer.output_schema] so that references built by the
+   transformation resolve against the registered temp's schema. *)
+let item_output_name = function
+  | Sel_col c -> c.column
+  | Sel_agg a -> (
+      match agg_arg a with
+      | None -> "COUNT_STAR"
+      | Some c -> agg_name a ^ "_" ^ c.column)
+  | Sel_star -> invalid_arg "Program.item_output_name: SELECT *"
+
+let output_column_names (q : query) = List.map item_output_name q.select
+
+(* A query is canonical when no predicate nests a query block. *)
+let is_canonical (q : query) =
+  not (List.exists predicate_has_subquery q.where)
+
+let is_fully_canonical (t : t) =
+  is_canonical t.main && List.for_all (fun { def; _ } -> is_canonical def) t.temps
+
+let pp ppf (t : t) =
+  List.iter
+    (fun { name; def } ->
+      Fmt.pf ppf "%s (%a) :=@.  %a;@.@." name
+        Fmt.(list ~sep:(any ", ") string)
+        (output_column_names def)
+        Sql.Pp.pp_query def)
+    t.temps;
+  Fmt.pf ppf "%a;" Sql.Pp.pp_query t.main
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,93 @@
+(* Query trees: the multi-way tree of query blocks the paper uses to model
+   nested queries in §9 ("a multi-way tree whose nodes are query blocks,
+   where the outermost query block is the root and the innermost query
+   blocks are the leaves" — Figure 2).
+
+   Each edge carries the classification of the nested predicate that links
+   parent to child.  Nodes are labeled A, B, C, ... in depth-first order,
+   matching the paper's figure. *)
+
+open Sql.Ast
+
+type t = {
+  label : string; (* A, B, C, ... in DFS order *)
+  block : query;
+  children : (Classify.t * t) list;
+}
+
+let letter i =
+  if i < 26 then String.make 1 (Char.chr (Char.code 'A' + i))
+  else Printf.sprintf "B%d" i
+
+let of_query (q : query) : t =
+  let counter = ref 0 in
+  let next_label () =
+    let l = letter !counter in
+    incr counter;
+    l
+  in
+  let rec build q =
+    let label = next_label () in
+    let children =
+      List.filter_map
+        (fun p ->
+          match Classify.inner_block p, Classify.classify_predicate p with
+          | Some sub, Some cls -> Some (cls, build sub)
+          | _ -> None)
+        q.where
+    in
+    { label; block = q; children }
+  in
+  build q
+
+(* One-line description of a block: its FROM tables and whether its SELECT
+   aggregates. *)
+let describe_block (q : query) =
+  let tables =
+    String.concat ", "
+      (List.map
+         (fun (f : from_item) ->
+           if from_alias f = f.rel then f.rel
+           else f.rel ^ " " ^ from_alias f)
+         q.from)
+  in
+  let agg =
+    List.filter_map
+      (function
+        | Sel_agg a -> Some (Fmt.str "%a" Sql.Pp.pp_agg a)
+        | Sel_col _ | Sel_star -> None)
+      q.select
+  in
+  match agg with
+  | [] -> tables
+  | aggs -> Printf.sprintf "%s; SELECT %s" tables (String.concat ", " aggs)
+
+(* Figure-2-style rendering:
+
+     A: PARTS
+     |- [type-J] B: SUPPLY; SELECT MAX(QUAN)
+     |  |- [type-N] C: SUPPLY C
+     ... *)
+let pp ppf (t : t) =
+  let rec go prefix { label; block; children } =
+    Fmt.pf ppf "%s%s: %s@." prefix label (describe_block block);
+    let child_prefix =
+      if prefix = "" then "" else String.map (fun _ -> ' ') prefix
+    in
+    List.iter
+      (fun (cls, child) ->
+        let edge = Printf.sprintf "%s|- [%s] " child_prefix (Classify.name cls) in
+        go edge child)
+      children
+  in
+  go "" t
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Depth of the tree = nesting depth of the query. *)
+let rec depth t =
+  List.fold_left (fun acc (_, c) -> max acc (1 + depth c)) 0 t.children
+
+(* All edge classifications, DFS order. *)
+let rec edge_classes t =
+  List.concat_map (fun (cls, c) -> cls :: edge_classes c) t.children

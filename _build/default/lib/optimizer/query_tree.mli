@@ -1,0 +1,22 @@
+(** Query trees (§9 / Figure 2): the multi-way tree of query blocks, edges
+    labeled with the classification of the linking nested predicate, nodes
+    labeled A, B, C, ... in depth-first order. *)
+
+type t = {
+  label : string;
+  block : Sql.Ast.query;
+  children : (Classify.t * t) list;
+}
+
+val of_query : Sql.Ast.query -> t
+
+(** Figure-2-style ASCII rendering. *)
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** Tree depth = nesting depth. *)
+val depth : t -> int
+
+(** Edge classifications in DFS order. *)
+val edge_classes : t -> Classify.t list

@@ -1,0 +1,101 @@
+(* Capture-aware renaming of table aliases inside query blocks.
+
+   NEST-N-J combines the FROM clauses of two blocks; if both bind the same
+   alias (e.g. SP in both, or the idiomatic self-join "FROM SP" nested under
+   "FROM SP"), the inner binding must be renamed first.  Renaming an alias
+   rewrites the binding FROM item and every reference to it — including
+   references from deeper subqueries (correlation) — but stops at any deeper
+   block that rebinds the same alias. *)
+
+open Sql.Ast
+
+(* [Ast.from_alias] under a name the [~from_alias] labels cannot shadow. *)
+let alias_of (f : from_item) = from_alias f
+
+let rename_col ~from_alias ~to_alias (c : col_ref) =
+  match c.table with
+  | Some t when String.equal t from_alias -> { c with table = Some to_alias }
+  | Some _ | None -> c
+
+let rename_scalar ~from_alias ~to_alias = function
+  | Col c -> Col (rename_col ~from_alias ~to_alias c)
+  | Lit _ as s -> s
+
+let rename_agg ~from_alias ~to_alias a =
+  let r = rename_col ~from_alias ~to_alias in
+  match a with
+  | Count_star -> Count_star
+  | Count c -> Count (r c)
+  | Max c -> Max (r c)
+  | Min c -> Min (r c)
+  | Sum c -> Sum (r c)
+  | Avg c -> Avg (r c)
+
+(* Rename *references* to [from_alias] throughout [q] and its subqueries,
+   without touching FROM bindings; stops below blocks that rebind it. *)
+let rec rename_refs ~from_alias ~to_alias (q : query) : query =
+  if List.exists (fun f -> String.equal (alias_of f) from_alias) q.from then q
+    (* rebound here: inner occurrences refer to this binding *)
+  else
+    let rc = rename_col ~from_alias ~to_alias in
+    let rs = rename_scalar ~from_alias ~to_alias in
+    let pred = function
+      | Cmp (a, op, b) -> Cmp (rs a, op, rs b)
+      | Cmp_outer (a, op, b) -> Cmp_outer (rs a, op, rs b)
+      | Cmp_subq (a, op, sub) ->
+          Cmp_subq (rs a, op, rename_refs ~from_alias ~to_alias sub)
+      | In_subq (a, sub) -> In_subq (rs a, rename_refs ~from_alias ~to_alias sub)
+      | Not_in_subq (a, sub) ->
+          Not_in_subq (rs a, rename_refs ~from_alias ~to_alias sub)
+      | Exists sub -> Exists (rename_refs ~from_alias ~to_alias sub)
+      | Not_exists sub -> Not_exists (rename_refs ~from_alias ~to_alias sub)
+      | Quant (a, op, qf, sub) ->
+          Quant (rs a, op, qf, rename_refs ~from_alias ~to_alias sub)
+    in
+    let item = function
+      | Sel_star -> Sel_star
+      | Sel_col c -> Sel_col (rc c)
+      | Sel_agg a -> Sel_agg (rename_agg ~from_alias ~to_alias a)
+    in
+    {
+      q with
+      select = List.map item q.select;
+      where = List.map pred q.where;
+      group_by = List.map rc q.group_by;
+    }
+
+(* Rename a binding of [q] itself: the FROM item whose alias is
+   [from_alias], plus all its in-scope references. *)
+let rename_binding ~from_alias ~to_alias (q : query) : query =
+  let from =
+    List.map
+      (fun (f : from_item) ->
+        if String.equal (alias_of f) from_alias then
+          { f with alias = Some to_alias }
+        else f)
+      q.from
+  in
+  let renamed = rename_refs ~from_alias ~to_alias { q with from = [] } in
+  { renamed with from }
+
+(* Fresh alias not colliding with [taken]. *)
+let fresh_alias taken base =
+  let rec go i =
+    let candidate = Printf.sprintf "%s_%d" base i in
+    if List.mem candidate taken then go (i + 1) else candidate
+  in
+  if List.mem base taken then go 1 else base
+
+(* Rename every binding of [q] that collides with [taken]; returns the
+   adjusted query. *)
+let avoid_aliases ~taken (q : query) : query =
+  let rec go taken q = function
+    | [] -> q
+    | (f : from_item) :: rest ->
+        let alias = alias_of f in
+        if List.mem alias taken then
+          let fresh = fresh_alias (taken @ List.map alias_of q.from) alias in
+          go (fresh :: taken) (rename_binding ~from_alias:alias ~to_alias:fresh q) rest
+        else go (alias :: taken) q rest
+  in
+  go taken q q.from

@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Fmt List Row Schema String Value

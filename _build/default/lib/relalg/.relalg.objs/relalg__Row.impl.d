@@ -1,0 +1,1 @@
+lib/relalg/row.ml: Array Fmt Int List Value

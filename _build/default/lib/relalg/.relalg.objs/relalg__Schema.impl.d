@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Fmt List String Value

@@ -1,0 +1,1 @@
+lib/relalg/truth.ml: Fmt List

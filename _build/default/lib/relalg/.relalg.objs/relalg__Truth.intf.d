@@ -1,0 +1,1 @@
+lib/relalg/truth.mli: Fmt

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Float Fmt Int List String Truth

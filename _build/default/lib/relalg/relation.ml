@@ -1,0 +1,84 @@
+(* In-memory relations: a schema plus a bag (list) of rows.
+
+   Relations are the interchange format between the reference evaluator, the
+   physical executor, and the test harness.  Result comparison offers both
+   bag and set semantics — the distinction the paper's duplicates section
+   (§5.4) is all about. *)
+
+type t = { schema : Schema.t; rows : Row.t list }
+
+let make schema rows =
+  List.iter
+    (fun r ->
+      if Row.arity r <> Schema.arity schema then
+        invalid_arg
+          (Fmt.str "Relation.make: row arity %d <> schema arity %d"
+             (Row.arity r) (Schema.arity schema)))
+    rows;
+  { schema; rows }
+
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let is_empty t = t.rows = []
+
+let of_values ~rel cols rows =
+  let schema = Schema.of_columns ~rel cols in
+  make schema (List.map Row.of_list rows)
+
+let sorted_rows t = List.sort Row.compare t.rows
+
+let distinct t =
+  let sorted = sorted_rows t in
+  let rec dedup = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) ->
+        if Row.equal x y then dedup rest else x :: dedup rest
+  in
+  { t with rows = dedup sorted }
+
+let equal_bag a b =
+  Schema.compatible a.schema b.schema
+  && List.equal Row.equal (sorted_rows a) (sorted_rows b)
+
+let equal_set a b =
+  Schema.compatible a.schema b.schema
+  && List.equal Row.equal (distinct a).rows (distinct b).rows
+
+(* Single-column relations are common (projections of join columns, final
+   results in the paper's examples); expose their values directly. *)
+let column_values t name =
+  let i = Schema.find t.schema name in
+  List.map (fun r -> Row.get r i) t.rows
+
+let single_column t =
+  if Schema.arity t.schema <> 1 then
+    invalid_arg "Relation.single_column: arity <> 1";
+  List.map (fun r -> Row.get r 0) t.rows
+
+(* Render as an aligned ASCII table, like the instances printed in the
+   paper. *)
+let pp ppf t =
+  let headers =
+    List.map (fun (c : Schema.column) -> c.rel ^ "." ^ c.name)
+      (Schema.columns t.schema)
+  in
+  let cells = List.map (fun r -> List.map Value.to_string (Row.to_list r)) t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) cells)
+      headers
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_line parts =
+    String.concat "  " (List.map2 pad parts widths)
+  in
+  Fmt.pf ppf "%s@." (render_line headers);
+  Fmt.pf ppf "%s@."
+    (render_line (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pf ppf "%s@." (render_line row)) cells;
+  Fmt.pf ppf "(%d row%s)" (cardinality t)
+    (if cardinality t = 1 then "" else "s")

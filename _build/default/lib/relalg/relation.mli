@@ -1,0 +1,38 @@
+(** In-memory relations (schema + bag of rows). *)
+
+type t
+
+(** @raise Invalid_argument if any row's arity mismatches the schema. *)
+val make : Schema.t -> Row.t list -> t
+
+val schema : t -> Schema.t
+val rows : t -> Row.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** [of_values ~rel cols rows] builds a relation with provenance [rel]. *)
+val of_values :
+  rel:string -> (string * Value.ty) list -> Value.t list list -> t
+
+(** Rows in the [Row.compare] total order. *)
+val sorted_rows : t -> Row.t list
+
+(** Duplicate elimination (full-row). *)
+val distinct : t -> t
+
+(** Multiset equality of rows (schemas compared ignoring provenance). *)
+val equal_bag : t -> t -> bool
+
+(** Set equality of rows. *)
+val equal_set : t -> t -> bool
+
+(** Values of the named column, in row order.
+    @raise Schema.Not_found_column *)
+val column_values : t -> string -> Value.t list
+
+(** The only column of an arity-1 relation.
+    @raise Invalid_argument otherwise. *)
+val single_column : t -> Value.t list
+
+(** ASCII-table rendering. *)
+val pp : t Fmt.t

@@ -1,0 +1,25 @@
+(** Tuples: immutable arrays of values. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+val append : t -> t -> t
+
+(** [project t idxs] keeps positions [idxs] in order. *)
+val project : t -> int list -> t
+
+(** A row of [n] NULLs (outer-join padding). *)
+val nulls : int -> t
+
+(** Lexicographic total order on the given key positions. *)
+val compare_on : int list -> t -> t -> int
+
+(** Full-row lexicographic total order. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val byte_width : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,89 @@
+(* Relation schemas.
+
+   A schema is an ordered list of columns, each tagged with the *relation
+   alias* it came from.  Keeping the provenance alias in the schema (rather
+   than only the bare column name) is what lets the executors resolve
+   qualified references like [PARTS.PNUM] in the output of a join, where two
+   sides may both carry a column called PNUM. *)
+
+type column = { rel : string; name : string; ty : Value.ty }
+
+type t = { columns : column array }
+
+let pp_column ppf c = Fmt.pf ppf "%s.%s:%a" c.rel c.name Value.pp_ty c.ty
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") pp_column) t.columns
+
+let make columns = { columns = Array.of_list columns }
+
+let of_columns ~rel cols =
+  make (List.map (fun (name, ty) -> { rel; name; ty }) cols)
+
+let columns t = Array.to_list t.columns
+
+let arity t = Array.length t.columns
+
+let column t i = t.columns.(i)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y ->
+         String.equal x.rel y.rel
+         && String.equal x.name y.name
+         && Value.equal_ty x.ty y.ty)
+       a.columns b.columns
+
+(* Same column names and types in the same order, ignoring provenance:
+   relations produced by two different plans for the same query are
+   compatible even if intermediate aliases differ. *)
+let compatible a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && Value.equal_ty x.ty y.ty)
+       a.columns b.columns
+
+exception Ambiguous of string
+exception Not_found_column of string
+
+let find_opt t ?rel name =
+  let matches c =
+    String.equal c.name name
+    && match rel with None -> true | Some r -> String.equal c.rel r
+  in
+  let hits = ref [] in
+  Array.iteri (fun i c -> if matches c then hits := i :: !hits) t.columns;
+  match !hits with
+  | [] -> None
+  | [ i ] -> Some i
+  | _ :: _ :: _ ->
+      let qual = match rel with Some r -> r ^ "." | None -> "" in
+      raise (Ambiguous (qual ^ name))
+
+let find t ?rel name =
+  match find_opt t ?rel name with
+  | Some i -> i
+  | None ->
+      let qual = match rel with Some r -> r ^ "." | None -> "" in
+      raise (Not_found_column (qual ^ name))
+
+let rename_rel t rel =
+  { columns = Array.map (fun c -> { c with rel }) t.columns }
+
+let append a b = { columns = Array.append a.columns b.columns }
+
+let project t idxs =
+  { columns = Array.of_list (List.map (fun i -> t.columns.(i)) idxs) }
+
+(* Average tuple width estimate in bytes for page-capacity computations. *)
+let tuple_width_estimate t =
+  Array.fold_left
+    (fun acc c ->
+      acc
+      +
+      match c.ty with
+      | Value.Tint | Value.Tfloat | Value.Tdate -> 8
+      | Value.Tstr -> 16)
+    0 t.columns
+  |> max 1

@@ -1,0 +1,44 @@
+(** Ordered relation schemas with per-column provenance aliases. *)
+
+type column = { rel : string; name : string; ty : Value.ty }
+
+type t
+
+exception Ambiguous of string
+exception Not_found_column of string
+
+val make : column list -> t
+
+(** [of_columns ~rel cols] tags every column with provenance [rel]. *)
+val of_columns : rel:string -> (string * Value.ty) list -> t
+
+val columns : t -> column list
+val arity : t -> int
+val column : t -> int -> column
+
+(** Structural equality including provenance. *)
+val equal : t -> t -> bool
+
+(** Same names/types in order, ignoring provenance. *)
+val compatible : t -> t -> bool
+
+(** Position of column [name], optionally qualified by alias [rel].
+    @raise Ambiguous when the reference matches several columns. *)
+val find_opt : t -> ?rel:string -> string -> int option
+
+(** @raise Not_found_column / Ambiguous *)
+val find : t -> ?rel:string -> string -> int
+
+(** Retag every column with a new provenance alias. *)
+val rename_rel : t -> string -> t
+
+val append : t -> t -> t
+
+(** Keep the columns at the given positions, in the given order. *)
+val project : t -> int list -> t
+
+(** Estimated tuple width in bytes. *)
+val tuple_width_estimate : t -> int
+
+val pp_column : column Fmt.t
+val pp : t Fmt.t

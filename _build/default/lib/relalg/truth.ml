@@ -1,0 +1,39 @@
+(* Three-valued logic (SQL truth values).
+
+   Comparisons involving NULL evaluate to [Unknown]; a tuple qualifies for a
+   WHERE clause only when the whole conjunction evaluates to [True].  The
+   paper depends on this: MAX over an empty group is NULL, so the comparison
+   predicate is Unknown and the outer tuple is (correctly) rejected. *)
+
+type t = True | False | Unknown
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let of_bool b = if b then True else False
+
+let to_bool = function True -> true | False | Unknown -> false
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, (True | Unknown) | True, Unknown -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, (False | Unknown) | False, Unknown -> Unknown
+
+let conjunction ts = List.fold_left and_ True ts
+
+let disjunction ts = List.fold_left or_ False ts
+
+let pp ppf t =
+  Fmt.string ppf
+    (match t with True -> "true" | False -> "false" | Unknown -> "unknown")

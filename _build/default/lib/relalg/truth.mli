@@ -1,0 +1,22 @@
+(** SQL three-valued logic. *)
+
+type t = True | False | Unknown
+
+val equal : t -> t -> bool
+
+val of_bool : bool -> t
+
+(** [to_bool t] is the WHERE-clause interpretation: only [True] qualifies. *)
+val to_bool : t -> bool
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+(** Conjunction of a list, [True] when empty. *)
+val conjunction : t list -> t
+
+(** Disjunction of a list, [False] when empty. *)
+val disjunction : t list -> t
+
+val pp : t Fmt.t

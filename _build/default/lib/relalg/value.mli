@@ -1,0 +1,56 @@
+(** Atomic values (with SQL NULL) and their two orderings: a total order for
+    sorting/grouping, and SQL three-valued comparisons for predicates. *)
+
+type date = { year : int; month : int; day : int }
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of date
+
+(** Column types. *)
+type ty = Tint | Tfloat | Tstr | Tdate
+
+val type_name : ty -> string
+val pp_ty : ty Fmt.t
+val equal_ty : ty -> ty -> bool
+
+(** [type_of v] is [None] for NULL. *)
+val type_of : t -> ty option
+
+val is_null : t -> bool
+
+(** [date_of_parts] validates the calendar date. *)
+val date_of_parts : year:int -> month:int -> day:int -> date option
+
+(** Parses "M-D-YY", "M/D/YY" (19xx assumed) and ISO "YYYY-MM-DD". *)
+val date_of_string : string -> date option
+
+val pp_date : date Fmt.t
+
+(** Total order: NULL first, numerics compare numerically across Int/Float. *)
+val compare : t -> t -> int
+
+(** Equality under the total order (NULL = NULL). *)
+val equal : t -> t -> bool
+
+(** SQL comparisons: [Unknown] when either operand is NULL. *)
+val eq_sql : t -> t -> Truth.t
+
+val lt_sql : t -> t -> Truth.t
+
+(** Numeric addition for SUM/AVG; NULL is absorbing.
+    @raise Invalid_argument on non-numeric operands. *)
+val add : t -> t -> t
+
+val to_float : t -> float option
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Estimated storage width in bytes (paged storage sizing). *)
+val byte_width : t -> int
+
+(** Reinterpret a string literal at type [ty] (dates, numerics). *)
+val coerce_string_literal : string -> ty -> t option

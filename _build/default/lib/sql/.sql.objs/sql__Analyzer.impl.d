@@ -1,0 +1,1 @@
+lib/sql/analyzer.ml: Ast Fmt List Pp Relalg

@@ -1,0 +1,1 @@
+lib/sql/pp.ml: Ast Fmt Relalg String

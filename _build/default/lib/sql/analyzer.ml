@@ -1,0 +1,289 @@
+(* Name resolution, validation and light typing.
+
+   The analyzer rewrites a parsed query so that:
+   - every column reference carries the table alias that binds it
+     (innermost-scope-first resolution, so correlation — the paper's
+     "join predicate which references a relation of an outer query block" —
+     becomes syntactically visible and [Ast.free_tables] is meaningful);
+   - [SELECT *] is expanded to explicit columns;
+   - string literals compared against DATE (or numeric) columns are coerced
+     to values of the column's type, so the paper's quoted date literals
+     ('1-1-80') behave as dates;
+   and validates the block structure the transformation algorithms assume
+   (single-item subqueries in scalar contexts, no bare columns next to
+   aggregates without GROUP BY, known tables, unambiguous references). *)
+
+open Ast
+module Value = Relalg.Value
+module Schema = Relalg.Schema
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type frame = (string * Schema.t) list (* alias -> schema, one query block *)
+
+type scope = frame list (* innermost first *)
+
+let make_frame ~(lookup : string -> Schema.t option) (from : from_item list) :
+    frame =
+  let add seen (f : from_item) =
+    let alias = from_alias f in
+    if List.mem_assoc alias seen then errf "duplicate table alias %s" alias;
+    match lookup f.rel with
+    | None -> errf "unknown table %s" f.rel
+    | Some schema -> (alias, Schema.rename_rel schema alias) :: seen
+  in
+  List.rev (List.fold_left add [] from)
+
+(* Resolve [c] against the scope; returns the qualified reference and the
+   column type. *)
+let resolve_col (scope : scope) (c : col_ref) : col_ref * Value.ty =
+  let find_in_frame frame =
+    match c.table with
+    | Some t -> (
+        match List.assoc_opt t frame with
+        | None -> None
+        | Some schema -> (
+            match Schema.find_opt schema c.column with
+            | Some i -> Some (t, (Schema.column schema i).ty)
+            | None ->
+                errf "table %s has no column %s" t c.column))
+    | None ->
+        let hits =
+          List.filter_map
+            (fun (alias, schema) ->
+              match Schema.find_opt schema c.column with
+              | Some i -> Some (alias, (Schema.column schema i).ty)
+              | None -> None)
+            frame
+        in
+        (match hits with
+        | [] -> None
+        | [ hit ] -> Some hit
+        | _ :: _ :: _ -> errf "ambiguous column reference %s" c.column)
+  in
+  let rec search = function
+    | [] ->
+        errf "unresolved column reference %a" Pp.pp_col c
+    | frame :: outer -> (
+        match find_in_frame frame with
+        | Some (alias, ty) -> ({ table = Some alias; column = c.column }, ty)
+        | None -> search outer)
+  in
+  search scope
+
+let scalar_type scope = function
+  | Col c -> Some (snd (resolve_col scope c))
+  | Lit v -> Value.type_of v
+
+(* Coerce a string literal to [ty] when the other side of a comparison has
+   type [ty]; reject clearly ill-typed comparisons. *)
+let coerce_literal (other_ty : Value.ty option) (s : scalar) : scalar =
+  match s, other_ty with
+  | Lit (Value.Str text), Some ((Value.Tdate | Value.Tint | Value.Tfloat) as ty)
+    -> (
+      match Value.coerce_string_literal text ty with
+      | Some v -> Lit v
+      | None ->
+          errf "literal '%s' cannot be read at type %s" text
+            (Value.type_name ty))
+  | (Col _ | Lit _), _ -> s
+
+let check_comparable scope a b =
+  match scalar_type scope a, scalar_type scope b with
+  | Some ta, Some tb ->
+      let numeric = function
+        | Value.Tint | Value.Tfloat -> true
+        | Value.Tstr | Value.Tdate -> false
+      in
+      if not (Value.equal_ty ta tb || (numeric ta && numeric tb)) then
+        errf "type mismatch: cannot compare %s with %s" (Value.type_name ta)
+          (Value.type_name tb)
+  | _ -> ()
+
+let resolve_scalar scope = function
+  | Col c -> Col (fst (resolve_col scope c))
+  | Lit _ as s -> s
+
+(* The single output type of a subquery used in a scalar/IN context.  Needs
+   the subquery's own frame pushed; aggregates have intrinsic types. *)
+let subquery_item_type scope (sub : query) =
+  match sub.select with
+  | [ Sel_col c ] -> Some (snd (resolve_col scope c))
+  | [ Sel_agg (Count_star | Count _) ] -> Some Value.Tint
+  | [ Sel_agg (Avg _) ] -> Some Value.Tfloat
+  | [ Sel_agg (Max c | Min c | Sum c) ] -> Some (snd (resolve_col scope c))
+  | _ -> None
+
+let rec analyze_query ~lookup (scope : scope) (q : query) : query =
+  let frame = make_frame ~lookup q.from in
+  let scope' = frame :: scope in
+  (* Expand SELECT * *)
+  let select =
+    List.concat_map
+      (function
+        | Sel_star ->
+            List.concat_map
+              (fun (alias, schema) ->
+                List.map
+                  (fun (c : Schema.column) ->
+                    Sel_col { table = Some alias; column = c.name })
+                  (Schema.columns schema))
+              frame
+        | item -> [ item ])
+      q.select
+  in
+  let resolve_local_col c = fst (resolve_col [ frame ] c) in
+  let select =
+    List.map
+      (function
+        | Sel_col c -> Sel_col (resolve_local_col c)
+        | Sel_agg a -> Sel_agg (resolve_agg frame a)
+        | Sel_star -> assert false)
+      select
+  in
+  let group_by = List.map resolve_local_col q.group_by in
+  (* Aggregate/plain-column discipline *)
+  let has_agg =
+    List.exists (function Sel_agg _ -> true | _ -> false) select
+  in
+  let plain_cols =
+    List.filter_map (function Sel_col c -> Some c | _ -> None) select
+  in
+  if group_by = [] && has_agg && plain_cols <> [] then
+    errf
+      "SELECT mixes aggregates and plain columns without GROUP BY";
+  if group_by <> [] then
+    List.iter
+      (fun c ->
+        if not (List.mem c group_by) then
+          errf "column %a must appear in GROUP BY" Pp.pp_col c)
+      plain_cols;
+  let where = List.map (analyze_predicate ~lookup scope') q.where in
+  (* ORDER BY refers to output columns (by unqualified name). *)
+  let output_names =
+    List.map
+      (function
+        | Sel_col c -> c.column
+        | Sel_agg _ -> "" (* aggregates are unnameable in this subset *)
+        | Sel_star -> assert false)
+      select
+  in
+  let order_by =
+    List.map
+      (fun ((c : col_ref), dir) ->
+        (match c.table with
+        | Some _ ->
+            errf "ORDER BY uses unqualified output column names (got %a)"
+              Pp.pp_col c
+        | None -> ());
+        if not (List.mem c.column output_names) then
+          errf "ORDER BY column %s is not in the SELECT list" c.column;
+        (c, dir))
+      q.order_by
+  in
+  { q with select; from = q.from; where; group_by; order_by }
+
+and resolve_agg frame a =
+  let r c = fst (resolve_col [ frame ] c) in
+  match a with
+  | Count_star -> Count_star
+  | Count c -> Count (r c)
+  | Max c -> Max (r c)
+  | Min c -> Min (r c)
+  | Sum c ->
+      let c', ty = resolve_col [ frame ] c in
+      (match ty with
+      | Value.Tint | Value.Tfloat -> Sum c'
+      | Value.Tstr | Value.Tdate ->
+          errf "SUM over non-numeric column %a" Pp.pp_col c)
+  | Avg c ->
+      let c', ty = resolve_col [ frame ] c in
+      (match ty with
+      | Value.Tint | Value.Tfloat -> Avg c'
+      | Value.Tstr | Value.Tdate ->
+          errf "AVG over non-numeric column %a" Pp.pp_col c)
+
+and analyze_subquery ~lookup scope ~context (sub : query) : query =
+  if sub.order_by <> [] then errf "ORDER BY is not allowed in a subquery";
+  let analyzed = analyze_query ~lookup scope sub in
+  (match context with
+  | `Scalar | `In ->
+      if List.length analyzed.select <> 1 then
+        errf "subquery used as a value must select exactly one item"
+  | `Exists -> ());
+  analyzed
+
+and analyze_predicate ~lookup scope (p : predicate) : predicate =
+  match p with
+  | Cmp (a, op, b) ->
+      let a = resolve_scalar scope a and b = resolve_scalar scope b in
+      let a = coerce_literal (scalar_type scope b) a in
+      let b = coerce_literal (scalar_type scope a) b in
+      check_comparable scope a b;
+      Cmp (a, op, b)
+  | Cmp_outer (a, op, b) ->
+      let a = resolve_scalar scope a and b = resolve_scalar scope b in
+      Cmp_outer (a, op, b)
+  | Cmp_subq (a, op, sub) ->
+      let a = resolve_scalar scope a in
+      let sub = analyze_subquery ~lookup scope ~context:`Scalar sub in
+      let sub_frame = make_frame ~lookup sub.from in
+      let a =
+        coerce_literal (subquery_item_type (sub_frame :: scope) sub) a
+      in
+      Cmp_subq (a, op, sub)
+  | In_subq (a, sub) ->
+      let a = resolve_scalar scope a in
+      let sub = analyze_subquery ~lookup scope ~context:`In sub in
+      let sub_frame = make_frame ~lookup sub.from in
+      let a =
+        coerce_literal (subquery_item_type (sub_frame :: scope) sub) a
+      in
+      In_subq (a, sub)
+  | Not_in_subq (a, sub) ->
+      let a = resolve_scalar scope a in
+      let sub = analyze_subquery ~lookup scope ~context:`In sub in
+      Not_in_subq (a, sub)
+  | Exists sub -> Exists (analyze_subquery ~lookup scope ~context:`Exists sub)
+  | Not_exists sub ->
+      Not_exists (analyze_subquery ~lookup scope ~context:`Exists sub)
+  | Quant (a, op, qf, sub) ->
+      let a = resolve_scalar scope a in
+      let sub = analyze_subquery ~lookup scope ~context:`In sub in
+      Quant (a, op, qf, sub)
+
+let analyze_exn ~lookup q = analyze_query ~lookup [] q
+
+let analyze ~lookup q =
+  match analyze_exn ~lookup q with
+  | q -> Ok q
+  | exception Error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Output schema                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema of the rows an (analyzed) query produces, with provenance [rel].
+   Aggregate columns get synthetic names (AGG_<col> / COUNT_STAR); the
+   program layer renames temp-table columns positionally, so these names
+   only matter for debugging. *)
+let output_schema ~lookup ~rel (q : query) : Schema.t =
+  let frame = make_frame ~lookup q.from in
+  let scope = [ frame ] in
+  let column_of_item = function
+    | Sel_col c -> (c.column, snd (resolve_col scope c))
+    | Sel_agg a -> (
+        let name =
+          match agg_arg a with
+          | None -> "COUNT_STAR"
+          | Some c -> agg_name a ^ "_" ^ c.column
+        in
+        match a with
+        | Count_star | Count _ -> (name, Value.Tint)
+        | Avg _ -> (name, Value.Tfloat)
+        | Max c | Min c | Sum c -> (name, snd (resolve_col scope c)))
+    | Sel_star -> errf "output_schema: query not analyzed (SELECT *)"
+  in
+  Schema.of_columns ~rel (List.map column_of_item q.select)

@@ -1,0 +1,209 @@
+(* Hand-written lexer for the SQL subset.
+
+   Keywords are case-insensitive.  String literals use single quotes with
+   '' as the escape for a quote.  Identifiers are [A-Za-z_][A-Za-z0-9_#]*
+   (the '#' allows generated temp-table names like TEMP#1 to round-trip). *)
+
+type token =
+  | SELECT
+  | DISTINCT
+  | FROM
+  | WHERE
+  | GROUP
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | AND
+  | OR
+  | NOT
+  | IN
+  | IS
+  | EXISTS
+  | ANY
+  | ALL
+  | NULL
+  | AS
+  | COUNT
+  | MAX
+  | MIN
+  | SUM
+  | AVG
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EQ (* = *)
+  | NE (* != or <> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | SEMI
+  | EOF
+
+type position = { line : int; col : int }
+
+exception Error of position * string
+
+let token_name = function
+  | SELECT -> "SELECT"
+  | DISTINCT -> "DISTINCT"
+  | FROM -> "FROM"
+  | WHERE -> "WHERE"
+  | GROUP -> "GROUP"
+  | ORDER -> "ORDER"
+  | BY -> "BY"
+  | ASC -> "ASC"
+  | DESC -> "DESC"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | IN -> "IN"
+  | IS -> "IS"
+  | EXISTS -> "EXISTS"
+  | ANY -> "ANY"
+  | ALL -> "ALL"
+  | NULL -> "NULL"
+  | AS -> "AS"
+  | COUNT -> "COUNT"
+  | MAX -> "MAX"
+  | MIN -> "MIN"
+  | SUM -> "SUM"
+  | AVG -> "AVG"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | EQ -> "'='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | STAR -> "'*'"
+  | SEMI -> "';'"
+  | EOF -> "end of input"
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some SELECT
+  | "DISTINCT" -> Some DISTINCT
+  | "FROM" -> Some FROM
+  | "WHERE" -> Some WHERE
+  | "GROUP" -> Some GROUP
+  | "ORDER" -> Some ORDER
+  | "BY" -> Some BY
+  | "ASC" -> Some ASC
+  | "DESC" -> Some DESC
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "IN" -> Some IN
+  | "IS" -> Some IS
+  | "EXISTS" -> Some EXISTS
+  | "ANY" -> Some ANY
+  | "ALL" -> Some ALL
+  | "NULL" -> Some NULL
+  | "AS" -> Some AS
+  | "COUNT" -> Some COUNT
+  | "MAX" -> Some MAX
+  | "MIN" -> Some MIN
+  | "SUM" -> Some SUM
+  | "AVG" -> Some AVG
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '#'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole input; each token is paired with its start position. *)
+let tokenize (src : string) : (token * position) list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { line = !line; col = i - !bol + 1 } in
+  let fail i msg = raise (Error (pos i, msg)) in
+  let rec go i acc =
+    if i >= n then List.rev ((EOF, pos i) :: acc)
+    else
+      let c = src.[i] in
+      if c = '\n' then (
+        incr line;
+        bol := i + 1;
+        go (i + 1) acc)
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then
+        (* line comment *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let tok =
+          match keyword_of_string word with
+          | Some k -> k
+          | None -> IDENT word
+        in
+        go !j ((tok, pos i) :: acc)
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done;
+          let text = String.sub src i (!j - i) in
+          go !j ((FLOAT (float_of_string text), pos i) :: acc)
+        end
+        else
+          let text = String.sub src i (!j - i) in
+          go !j ((INT (int_of_string text), pos i) :: acc)
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then fail i "unterminated string literal"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then (
+              Buffer.add_char buf '\'';
+              scan (j + 2))
+            else j + 1
+          else (
+            Buffer.add_char buf src.[j];
+            scan (j + 1))
+        in
+        let j = scan (i + 1) in
+        go j ((STRING (Buffer.contents buf), pos i) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "!=" | "<>" -> go (i + 2) ((NE, pos i) :: acc)
+        | "<=" -> go (i + 2) ((LE, pos i) :: acc)
+        | ">=" -> go (i + 2) ((GE, pos i) :: acc)
+        | _ -> (
+            match c with
+            | '=' -> go (i + 1) ((EQ, pos i) :: acc)
+            | '<' -> go (i + 1) ((LT, pos i) :: acc)
+            | '>' -> go (i + 1) ((GT, pos i) :: acc)
+            | '(' -> go (i + 1) ((LPAREN, pos i) :: acc)
+            | ')' -> go (i + 1) ((RPAREN, pos i) :: acc)
+            | ',' -> go (i + 1) ((COMMA, pos i) :: acc)
+            | '.' -> go (i + 1) ((DOT, pos i) :: acc)
+            | '*' -> go (i + 1) ((STAR, pos i) :: acc)
+            | ';' -> go (i + 1) ((SEMI, pos i) :: acc)
+            | _ -> fail i (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []

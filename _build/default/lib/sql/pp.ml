@@ -1,0 +1,84 @@
+(* SQL pretty-printer.
+
+   Prints queries in the paper's style, including the generated outer-join
+   predicate as [l =+ r].  Used by explain output, the CLI, and the
+   parse/print round-trip property tests. *)
+
+open Ast
+
+let pp_col ppf (c : col_ref) =
+  match c.table with
+  | None -> Fmt.string ppf c.column
+  | Some t -> Fmt.pf ppf "%s.%s" t c.column
+
+(* Embedded quotes are doubled, matching the lexer's escape. *)
+let escape_string s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let pp_lit ppf (v : Relalg.Value.t) =
+  match v with
+  | Str s -> Fmt.pf ppf "'%s'" (escape_string s)
+  | Date d -> Fmt.pf ppf "'%a'" Relalg.Value.pp_date d
+  | Null | Int _ | Float _ -> Relalg.Value.pp ppf v
+
+let pp_scalar ppf = function
+  | Col c -> pp_col ppf c
+  | Lit v -> pp_lit ppf v
+
+let pp_agg ppf a =
+  match agg_arg a with
+  | None -> Fmt.pf ppf "%s(*)" (agg_name a)
+  | Some c -> Fmt.pf ppf "%s(%a)" (agg_name a) pp_col c
+
+let pp_select_item ppf = function
+  | Sel_star -> Fmt.string ppf "*"
+  | Sel_col c -> pp_col ppf c
+  | Sel_agg a -> pp_agg ppf a
+
+let pp_from_item ppf (f : from_item) =
+  match f.alias with
+  | None -> Fmt.string ppf f.rel
+  | Some a when String.equal a f.rel -> Fmt.string ppf f.rel
+  | Some a -> Fmt.pf ppf "%s %s" f.rel a
+
+let rec pp_predicate ppf = function
+  | Cmp (a, op, b) -> Fmt.pf ppf "%a %s %a" pp_scalar a (cmp_name op) pp_scalar b
+  | Cmp_outer (a, op, b) ->
+      Fmt.pf ppf "%a %s+ %a" pp_scalar a (cmp_name op) pp_scalar b
+  | Cmp_subq (a, op, sub) ->
+      Fmt.pf ppf "%a %s (%a)" pp_scalar a (cmp_name op) pp_query sub
+  | In_subq (a, sub) -> Fmt.pf ppf "%a IN (%a)" pp_scalar a pp_query sub
+  | Not_in_subq (a, sub) ->
+      Fmt.pf ppf "%a NOT IN (%a)" pp_scalar a pp_query sub
+  | Exists sub -> Fmt.pf ppf "EXISTS (%a)" pp_query sub
+  | Not_exists sub -> Fmt.pf ppf "NOT EXISTS (%a)" pp_query sub
+  | Quant (a, op, qf, sub) ->
+      Fmt.pf ppf "%a %s %s (%a)" pp_scalar a (cmp_name op)
+        (match qf with Any -> "ANY" | All -> "ALL")
+        pp_query sub
+
+and pp_query ppf (q : query) =
+  Fmt.pf ppf "@[<hv>SELECT %s%a@ FROM %a"
+    (if q.distinct then "DISTINCT " else "")
+    Fmt.(list ~sep:(any ", ") pp_select_item)
+    q.select
+    Fmt.(list ~sep:(any ", ") pp_from_item)
+    q.from;
+  (match q.where with
+  | [] -> ()
+  | ps -> Fmt.pf ppf "@ WHERE %a" Fmt.(list ~sep:(any "@ AND ") pp_predicate) ps);
+  (match q.group_by with
+  | [] -> ()
+  | cols ->
+      Fmt.pf ppf "@ GROUP BY %a" Fmt.(list ~sep:(any ", ") pp_col) cols);
+  (match q.order_by with
+  | [] -> ()
+  | cols ->
+      let pp_ord ppf (c, dir) =
+        Fmt.pf ppf "%a%s" pp_col c
+          (match dir with Asc -> "" | Desc -> " DESC")
+      in
+      Fmt.pf ppf "@ ORDER BY %a" Fmt.(list ~sep:(any ", ") pp_ord) cols);
+  Fmt.pf ppf "@]"
+
+let query_to_string q = Fmt.str "%a" pp_query q

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Heap_file Index List Pager Printf Relalg Stats

@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Heap_file Index Pager Relalg Stats

@@ -1,0 +1,1 @@
+lib/storage/external_sort.ml: Heap_file List Pager Relalg

@@ -1,0 +1,1 @@
+lib/storage/external_sort.mli: Heap_file Pager

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Array Heap_file List Pager Relalg

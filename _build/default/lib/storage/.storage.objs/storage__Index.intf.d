@@ -1,0 +1,1 @@
+lib/storage/index.mli: Heap_file Pager Relalg

@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Float Fmt List Relalg Sql

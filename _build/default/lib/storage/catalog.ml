@@ -1,0 +1,96 @@
+(* Catalog: named relations backed by heap files, plus simple statistics.
+
+   Base tables and the temporary tables created by the transformation
+   algorithms (TEMP1/TEMP2/TEMP3 in the paper) live here.  Statistics feed
+   the cost model: page and tuple counts, and the selectivity fraction f(i)
+   is estimated by the planner from predicate shape. *)
+
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+
+type entry = {
+  name : string;
+  heap : Heap_file.t;
+  stats : Stats.t;
+  mutable indexes : (int * Index.t) list; (* key column -> index *)
+  mutable sorted_on : int list option;
+      (* column positions the stored order is known to follow; temp tables
+         created by merge-join/group-by pipelines are born sorted, which §7.4
+         exploits to skip re-sorting. *)
+}
+
+type t = {
+  pager : Pager.t;
+  mutable entries : (string * entry) list;
+  mutable temp_counter : int;
+}
+
+exception Unknown_table of string
+
+let create pager = { pager; entries = []; temp_counter = 0 }
+
+let pager t = t.pager
+
+let mem t name = List.mem_assoc name t.entries
+
+let register ?sorted_on t name heap =
+  if mem t name then invalid_arg ("Catalog.register: duplicate table " ^ name);
+  (* Statistics collection reads the stored pages; a real system amortizes
+     this (RUNSTATS), so it is excluded from the I/O counters. *)
+  let stats =
+    Pager.without_accounting t.pager (fun () ->
+        Stats.of_relation (Heap_file.to_relation heap))
+  in
+  t.entries <- (name, { name; heap; stats; indexes = []; sorted_on }) :: t.entries
+
+let register_relation ?sorted_on t name relation =
+  let renamed =
+    Relation.make
+      (Schema.rename_rel (Relation.schema relation) name)
+      (Relation.rows relation)
+  in
+  register ?sorted_on t name (Heap_file.of_relation t.pager renamed)
+
+let entry t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> raise (Unknown_table name)
+
+let heap t name = (entry t name).heap
+let schema t name = Heap_file.schema (entry t name).heap
+let relation t name = Heap_file.to_relation (entry t name).heap
+let sorted_on t name = (entry t name).sorted_on
+let set_sorted_on t name key = (entry t name).sorted_on <- Some key
+
+let stats t name = (entry t name).stats
+
+let create_index t name ~column =
+  let e = entry t name in
+  let key_col = Schema.find (Heap_file.schema e.heap) column in
+  if not (List.mem_assoc key_col e.indexes) then
+    e.indexes <- (key_col, Index.build t.pager e.heap ~key_col) :: e.indexes
+
+let index_on t name ~key_col = List.assoc_opt key_col (entry t name).indexes
+
+let pages t name = Heap_file.page_count (entry t name).heap
+let tuples t name = Heap_file.tuple_count (entry t name).heap
+
+let drop t name =
+  match List.assoc_opt name t.entries with
+  | None -> ()
+  | Some e ->
+      Heap_file.delete e.heap;
+      List.iter (fun (_, idx) -> Index.delete idx) e.indexes;
+      t.entries <- List.remove_assoc name t.entries
+
+let table_names t = List.rev_map fst t.entries
+
+(* Schema lookup for the analyzer. *)
+let lookup t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> Some (Heap_file.schema e.heap)
+  | None -> None
+
+let fresh_temp_name t =
+  t.temp_counter <- t.temp_counter + 1;
+  Printf.sprintf "TEMP#%d" t.temp_counter

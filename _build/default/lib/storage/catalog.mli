@@ -1,0 +1,50 @@
+(** Named relations backed by heap files, with order metadata and stats. *)
+
+type t
+
+exception Unknown_table of string
+
+val create : Pager.t -> t
+val pager : t -> Pager.t
+val mem : t -> string -> bool
+
+(** @raise Invalid_argument on duplicate names. [sorted_on] records column
+    positions the stored order follows (interesting orders for merge
+    joins). *)
+val register : ?sorted_on:int list -> t -> string -> Heap_file.t -> unit
+
+(** Registers an in-memory relation, retagging its provenance to [name]. *)
+val register_relation :
+  ?sorted_on:int list -> t -> string -> Relalg.Relation.t -> unit
+
+(** All of the following raise {!Unknown_table} for missing names. *)
+
+val heap : t -> string -> Heap_file.t
+val schema : t -> string -> Relalg.Schema.t
+val relation : t -> string -> Relalg.Relation.t
+val sorted_on : t -> string -> int list option
+val set_sorted_on : t -> string -> int list -> unit
+
+(** Per-column statistics, collected at registration. *)
+val stats : t -> string -> Stats.t
+
+(** Build a dense sorted index on [column] (idempotent).
+    @raise Schema.Not_found_column *)
+val create_index : t -> string -> column:string -> unit
+
+(** The index on column position [key_col], if one was created. *)
+val index_on : t -> string -> key_col:int -> Index.t option
+
+val pages : t -> string -> int
+val tuples : t -> string -> int
+
+(** No-op for unknown names. *)
+val drop : t -> string -> unit
+
+val table_names : t -> string list
+
+(** Analyzer-compatible schema lookup. *)
+val lookup : t -> string -> Relalg.Schema.t option
+
+(** Fresh "TEMP#n" names for transformation-generated tables. *)
+val fresh_temp_name : t -> string

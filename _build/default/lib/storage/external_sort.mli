@@ -1,0 +1,14 @@
+(** External (B-1)-way merge sort with optional duplicate elimination. *)
+
+type dedup = Keep_duplicates | Drop_duplicates
+
+(** [sort pager ~key input] returns a new heap file whose rows are those of
+    [input] ordered by the column positions [key] (full-row tiebreak).
+    [~dedup:Drop_duplicates] removes full-row duplicates during the merge.
+    Intermediate run files are deleted; [input] is untouched. *)
+val sort :
+  Pager.t ->
+  ?dedup:dedup ->
+  key:int list ->
+  Heap_file.t ->
+  Heap_file.t

@@ -1,0 +1,92 @@
+(* Heap files: relations stored as sequences of pages.
+
+   The number of tuples per page is fixed per file from the schema's
+   estimated tuple width and the pager's page size — this is what makes
+   Pi/Pj ("size in pages of relation Ri/Rj") well defined for the measured
+   experiments. *)
+
+module Row = Relalg.Row
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+
+type t = {
+  pager : Pager.t;
+  file : Pager.file_id;
+  schema : Schema.t;
+  rows_per_page : int;
+  mutable tuples : int;
+  mutable tail : Row.t list; (* unflushed rows of the last partial page *)
+}
+
+let rows_per_page pager schema =
+  max 1 (Pager.page_bytes pager / Schema.tuple_width_estimate schema)
+
+let create pager schema =
+  {
+    pager;
+    file = Pager.create_file pager;
+    schema;
+    rows_per_page = rows_per_page pager schema;
+    tuples = 0;
+    tail = [];
+  }
+
+let schema t = t.schema
+let tuple_count t = t.tuples
+let file_id t = t.file
+
+let flush t =
+  match t.tail with
+  | [] -> ()
+  | rows ->
+      Pager.append_page t.pager t.file (Array.of_list (List.rev rows));
+      t.tail <- []
+
+let append t row =
+  if Row.arity row <> Schema.arity t.schema then
+    invalid_arg "Heap_file.append: row arity mismatch";
+  t.tail <- row :: t.tail;
+  t.tuples <- t.tuples + 1;
+  if List.length t.tail >= t.rows_per_page then flush t
+
+let page_count t =
+  Pager.page_count t.pager t.file + if t.tail = [] then 0 else 1
+
+let of_relation pager relation =
+  let t = create pager (Relation.schema relation) in
+  List.iter (append t) (Relation.rows relation);
+  flush t;
+  t
+
+(* Sequential scan as a row generator; page reads go through the pool. *)
+let scan t : unit -> Row.t option =
+  flush t;
+  let npages = Pager.page_count t.pager t.file in
+  let page = ref [||] in
+  let page_no = ref 0 and row_no = ref 0 in
+  let rec next () =
+    if !row_no < Array.length !page then begin
+      let r = !page.(!row_no) in
+      incr row_no;
+      Some r
+    end
+    else if !page_no < npages then begin
+      page := Pager.read_page t.pager t.file !page_no;
+      incr page_no;
+      row_no := 0;
+      next ()
+    end
+    else None
+  in
+  next
+
+let to_relation t =
+  let next = scan t in
+  let rec collect acc =
+    match next () with Some r -> collect (r :: acc) | None -> List.rev acc
+  in
+  Relation.make t.schema (collect [])
+
+let delete t =
+  t.tail <- [];
+  Pager.delete_file t.pager t.file

@@ -1,0 +1,29 @@
+(** Relations stored as paged heap files. *)
+
+type t
+
+val create : Pager.t -> Relalg.Schema.t -> t
+
+(** Load a whole in-memory relation, flushing the final partial page. *)
+val of_relation : Pager.t -> Relalg.Relation.t -> t
+
+val schema : t -> Relalg.Schema.t
+val tuple_count : t -> int
+
+(** The backing pager file (for index construction). *)
+val file_id : t -> Pager.file_id
+
+(** Pages used, counting a partial unflushed tail page. *)
+val page_count : t -> int
+
+(** @raise Invalid_argument on arity mismatch. *)
+val append : t -> Relalg.Row.t -> unit
+
+(** Write out any buffered partial page. *)
+val flush : t -> unit
+
+(** Sequential scan; flushes first. Page reads go through the buffer pool. *)
+val scan : t -> unit -> Relalg.Row.t option
+
+val to_relation : t -> Relalg.Relation.t
+val delete : t -> unit

@@ -1,0 +1,16 @@
+(** Dense sorted indexes over heap files (ISAM-style), probed by binary
+    search with all page traffic through the buffer pool.  Construction is
+    treated as offline work and not charged to the I/O counters; probes
+    are. *)
+
+type t
+
+(** Index the non-NULL values of column position [key_col]. *)
+val build : Pager.t -> Heap_file.t -> key_col:int -> t
+
+(** Data rows whose key equals [v] (NULL matches nothing). *)
+val lookup_eq : t -> Relalg.Value.t -> Relalg.Row.t list
+
+val pages : t -> int
+val entry_count : t -> int
+val delete : t -> unit

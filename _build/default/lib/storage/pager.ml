@@ -1,0 +1,151 @@
+(* Simulated disk + LRU buffer pool.
+
+   The paper's evaluation metric is the number of disk page I/Os, with B
+   pages of main-memory buffer available.  This module provides exactly that
+   accounting: a "disk" of pages (arrays of rows), a buffer pool of at most
+   [buffer_pages] frames with LRU replacement, and counters distinguishing
+   logical page requests from physical reads (pool misses) and physical
+   writes.  All operators perform their page traffic through a [Pager.t], so
+   the benches can report measured I/O next to the paper's analytic
+   formulas. *)
+
+module Row = Relalg.Row
+
+type file_id = int
+
+type page = Row.t array
+
+type key = file_id * int
+
+type stats = {
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+}
+
+type t = {
+  buffer_pages : int;
+  page_bytes : int;
+  disk : (key, page) Hashtbl.t;
+  frames : (key, page) Hashtbl.t;
+  mutable lru : key list; (* most recently used first; length <= buffer_pages *)
+  stats : stats;
+  mutable next_file : file_id;
+  mutable file_pages : (file_id * int ref) list;
+}
+
+let create ?(buffer_pages = 8) ?(page_bytes = 4096) () =
+  if buffer_pages < 2 then invalid_arg "Pager.create: need at least 2 buffer pages";
+  {
+    buffer_pages;
+    page_bytes;
+    disk = Hashtbl.create 256;
+    frames = Hashtbl.create 16;
+    lru = [];
+    stats = { logical_reads = 0; physical_reads = 0; physical_writes = 0 };
+    next_file = 0;
+    file_pages = [];
+  }
+
+let buffer_pages t = t.buffer_pages
+let page_bytes t = t.page_bytes
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.logical_reads <- 0;
+  t.stats.physical_reads <- 0;
+  t.stats.physical_writes <- 0
+
+(* Snapshot/restore used by benches to measure a single phase. *)
+let snapshot t = (t.stats.logical_reads, t.stats.physical_reads, t.stats.physical_writes)
+
+let diff_since t (lr, pr, pw) =
+  {
+    logical_reads = t.stats.logical_reads - lr;
+    physical_reads = t.stats.physical_reads - pr;
+    physical_writes = t.stats.physical_writes - pw;
+  }
+
+let total_io s = s.physical_reads + s.physical_writes
+
+let pp_stats ppf s =
+  Fmt.pf ppf "logical=%d physical_reads=%d physical_writes=%d total_io=%d"
+    s.logical_reads s.physical_reads s.physical_writes (total_io s)
+
+(* Run [f] without perturbing the I/O counters (catalog-internal work such
+   as statistics collection, which a real system would amortize). *)
+let without_accounting t f =
+  let saved = (t.stats.logical_reads, t.stats.physical_reads, t.stats.physical_writes) in
+  Fun.protect f ~finally:(fun () ->
+      let lr, pr, pw = saved in
+      t.stats.logical_reads <- lr;
+      t.stats.physical_reads <- pr;
+      t.stats.physical_writes <- pw)
+
+let create_file t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  t.file_pages <- (id, ref 0) :: t.file_pages;
+  id
+
+let page_count t file =
+  match List.assoc_opt file t.file_pages with
+  | Some r -> !r
+  | None -> invalid_arg "Pager.page_count: unknown file"
+
+let touch t key =
+  t.lru <- key :: List.filter (fun k -> k <> key) t.lru
+
+(* Evict least-recently-used frames beyond capacity; the write-through
+   policy means eviction never incurs I/O (no dirty pages). *)
+let insert_frame t key page =
+  Hashtbl.replace t.frames key page;
+  touch t key;
+  let rec split kept = function
+    | [] -> ([], [])
+    | k :: rest ->
+        if kept < t.buffer_pages then
+          let keep, evict = split (kept + 1) rest in
+          (k :: keep, evict)
+        else ([], k :: rest)
+  in
+  let keep, evict = split 0 t.lru in
+  List.iter (fun k -> Hashtbl.remove t.frames k) evict;
+  t.lru <- keep
+
+let read_page t file i : page =
+  let key = (file, i) in
+  t.stats.logical_reads <- t.stats.logical_reads + 1;
+  match Hashtbl.find_opt t.frames key with
+  | Some page ->
+      touch t key;
+      page
+  | None -> (
+      match Hashtbl.find_opt t.disk key with
+      | None -> invalid_arg "Pager.read_page: no such page"
+      | Some page ->
+          t.stats.physical_reads <- t.stats.physical_reads + 1;
+          insert_frame t key page;
+          page)
+
+let append_page t file (rows : Row.t array) =
+  let counter =
+    match List.assoc_opt file t.file_pages with
+    | Some r -> r
+    | None -> invalid_arg "Pager.append_page: unknown file"
+  in
+  let i = !counter in
+  incr counter;
+  let key = (file, i) in
+  Hashtbl.replace t.disk key rows;
+  t.stats.physical_writes <- t.stats.physical_writes + 1;
+  insert_frame t key rows
+
+let delete_file t file =
+  let n = page_count t file in
+  for i = 0 to n - 1 do
+    Hashtbl.remove t.disk (file, i);
+    Hashtbl.remove t.frames (file, i)
+  done;
+  t.lru <- List.filter (fun (f, _) -> f <> file) t.lru;
+  t.file_pages <- List.remove_assoc file t.file_pages

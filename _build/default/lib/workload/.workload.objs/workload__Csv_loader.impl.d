@@ -1,0 +1,1 @@
+lib/workload/csv_loader.ml: Fmt List Relalg String

@@ -1,0 +1,1 @@
+lib/workload/csv_writer.ml: Array Csv_loader Filename Fmt Fun List Printf Relalg Storage String Sys

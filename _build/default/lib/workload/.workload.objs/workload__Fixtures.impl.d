@@ -1,0 +1,1 @@
+lib/workload/fixtures.ml: Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: List Printf Random Relalg Storage

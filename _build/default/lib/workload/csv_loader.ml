@@ -1,0 +1,74 @@
+(* Minimal CSV loading for the CLI: header line "NAME:TYPE,NAME:TYPE,...",
+   types in {int, float, string, date}; values comma-separated, no quoting
+   (values containing commas are out of scope for the demos this serves).
+   Empty cells load as NULL. *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+
+exception Bad_csv of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Bad_csv s)) fmt
+
+let parse_type = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" | "str" -> Value.Tstr
+  | "date" -> Value.Tdate
+  | t -> errf "unknown column type %S (use int|float|string|date)" t
+
+let parse_header line =
+  List.map
+    (fun field ->
+      match String.split_on_char ':' (String.trim field) with
+      | [ name; ty ] when name <> "" -> (name, parse_type (String.trim ty))
+      | _ -> errf "bad header field %S (want NAME:TYPE)" field)
+    (String.split_on_char ',' line)
+
+let parse_cell ty (text : string) : Value.t =
+  let text = String.trim text in
+  if text = "" then Value.Null
+  else
+    match ty with
+    | Value.Tint -> (
+        match int_of_string_opt text with
+        | Some i -> Value.Int i
+        | None -> errf "bad int %S" text)
+    | Value.Tfloat -> (
+        match float_of_string_opt text with
+        | Some f -> Value.Float f
+        | None -> errf "bad float %S" text)
+    | Value.Tstr -> Value.Str text
+    | Value.Tdate -> (
+        match Value.date_of_string text with
+        | Some d -> Value.Date d
+        | None -> errf "bad date %S" text)
+
+let of_lines ~rel lines =
+  match lines with
+  | [] -> errf "empty input"
+  | header :: rows ->
+      let columns = parse_header header in
+      let parse_row lineno line =
+        let cells = String.split_on_char ',' line in
+        if List.length cells <> List.length columns then
+          errf "line %d: %d cells for %d columns" lineno (List.length cells)
+            (List.length columns);
+        List.map2 (fun (_, ty) cell -> parse_cell ty cell) columns cells
+      in
+      let rows =
+        List.filteri (fun _ line -> String.trim line <> "") rows
+        |> List.mapi (fun i line -> parse_row (i + 2) line)
+      in
+      Relation.of_values ~rel columns rows
+
+let load_file ~rel path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  of_lines ~rel lines

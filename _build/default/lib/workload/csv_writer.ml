@@ -1,0 +1,73 @@
+(* CSV output, mirroring [Csv_loader]'s dialect: a typed header line
+   "NAME:TYPE,..." followed by one line per row; NULLs as empty cells.
+   Values are written in the loader's accepted formats (ISO dates, plain
+   numbers, raw strings — commas inside strings are rejected since the
+   dialect has no quoting). *)
+
+module Value = Relalg.Value
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+
+exception Unwritable of string
+
+let type_name = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstr -> "string"
+  | Value.Tdate -> "date"
+
+let cell (v : Value.t) : string =
+  match v with
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Date d -> Fmt.str "%a" Value.pp_date d
+  | Value.Str s ->
+      if String.contains s ',' || String.contains s '\n' then
+        raise
+          (Unwritable
+             (Printf.sprintf "string value %S contains a comma/newline" s))
+      else s
+
+let to_lines (rel : Relation.t) : string list =
+  let header =
+    String.concat ","
+      (List.map
+         (fun (c : Schema.column) -> c.name ^ ":" ^ type_name c.ty)
+         (Schema.columns (Relation.schema rel)))
+  in
+  header
+  :: List.map
+       (fun row -> String.concat "," (List.map cell (Relalg.Row.to_list row)))
+       (Relation.rows rel)
+
+let save_file path rel =
+  let oc = open_out path in
+  Fun.protect
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines rel))
+    ~finally:(fun () -> close_out oc)
+
+(* ---------------- whole-catalog persistence ---------------------------- *)
+
+(* One NAME.csv per base table. *)
+let save_dir (catalog : Storage.Catalog.t) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      save_file
+        (Filename.concat dir (name ^ ".csv"))
+        (Storage.Catalog.relation catalog name))
+    (Storage.Catalog.table_names catalog)
+
+let load_dir (catalog : Storage.Catalog.t) dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.iter (fun file ->
+         if Filename.check_suffix file ".csv" then
+           let name = Filename.chop_suffix file ".csv" in
+           Storage.Catalog.register_relation catalog name
+             (Csv_loader.load_file ~rel:name (Filename.concat dir file)))

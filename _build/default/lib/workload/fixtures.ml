@@ -1,0 +1,187 @@
+(* The paper's example relations and queries, verbatim.
+
+   Three PARTS/SUPPLY instantiations appear in the paper: Kiessling's
+   original pair (§5.1, the COUNT bug), the modified pair of §5.3 (the
+   non-equality bug, with part 9 present only in SUPPLY), and the §5.4 pair
+   with duplicate PNUMs in PARTS.  Kim's supplier-part-shipment database
+   (S/P/SP) from the introduction is included for the worked examples. *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module Catalog = Storage.Catalog
+module Pager = Storage.Pager
+
+let date s =
+  match Value.date_of_string s with
+  | Some d -> Value.Date d
+  | None -> invalid_arg ("Fixtures.date: bad literal " ^ s)
+
+let i x = Value.Int x
+let s x = Value.Str x
+
+(* ---------------- Kim's supplier / parts / shipments ---------------- *)
+
+let suppliers =
+  Relation.of_values ~rel:"S"
+    [ ("SNO", Value.Tstr); ("SNAME", Value.Tstr); ("STATUS", Value.Tint);
+      ("CITY", Value.Tstr) ]
+    [
+      [ s "S1"; s "Smith"; i 20; s "London" ];
+      [ s "S2"; s "Jones"; i 10; s "Paris" ];
+      [ s "S3"; s "Blake"; i 30; s "Paris" ];
+      [ s "S4"; s "Clark"; i 20; s "London" ];
+      [ s "S5"; s "Adams"; i 30; s "Athens" ];
+    ]
+
+let parts =
+  Relation.of_values ~rel:"P"
+    [ ("PNO", Value.Tstr); ("PNAME", Value.Tstr); ("COLOR", Value.Tstr);
+      ("WEIGHT", Value.Tint); ("CITY", Value.Tstr) ]
+    [
+      [ s "P1"; s "Nut"; s "Red"; i 12; s "London" ];
+      [ s "P2"; s "Bolt"; s "Green"; i 17; s "Paris" ];
+      [ s "P3"; s "Screw"; s "Blue"; i 17; s "Oslo" ];
+      [ s "P4"; s "Screw"; s "Red"; i 14; s "London" ];
+      [ s "P5"; s "Cam"; s "Blue"; i 12; s "Paris" ];
+      [ s "P6"; s "Cog"; s "Red"; i 19; s "London" ];
+    ]
+
+let shipments =
+  Relation.of_values ~rel:"SP"
+    [ ("SNO", Value.Tstr); ("PNO", Value.Tstr); ("QTY", Value.Tint);
+      ("ORIGIN", Value.Tstr) ]
+    [
+      [ s "S1"; s "P1"; i 300; s "London" ];
+      [ s "S1"; s "P2"; i 200; s "London" ];
+      [ s "S1"; s "P3"; i 400; s "Oslo" ];
+      [ s "S1"; s "P4"; i 200; s "London" ];
+      [ s "S1"; s "P5"; i 100; s "Paris" ];
+      [ s "S1"; s "P6"; i 100; s "London" ];
+      [ s "S2"; s "P1"; i 300; s "Paris" ];
+      [ s "S2"; s "P2"; i 400; s "Paris" ];
+      [ s "S3"; s "P2"; i 200; s "Paris" ];
+      [ s "S4"; s "P2"; i 200; s "London" ];
+      [ s "S4"; s "P4"; i 300; s "London" ];
+      [ s "S4"; s "P5"; i 400; s "London" ];
+    ]
+
+(* ---------------- Kiessling's PARTS / SUPPLY (§5.1) ----------------- *)
+
+let parts_schema = [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
+
+let supply_schema =
+  [ ("PNUM", Value.Tint); ("QUAN", Value.Tint); ("SHIPDATE", Value.Tdate) ]
+
+let kiessling_parts =
+  Relation.of_values ~rel:"PARTS" parts_schema
+    [ [ i 3; i 6 ]; [ i 10; i 1 ]; [ i 8; i 0 ] ]
+
+let kiessling_supply =
+  Relation.of_values ~rel:"SUPPLY" supply_schema
+    [
+      [ i 3; i 4; date "7-3-79" ];
+      [ i 3; i 2; date "10-1-78" ];
+      [ i 10; i 1; date "6-8-78" ];
+      [ i 10; i 2; date "8-10-81" ];
+      [ i 8; i 5; date "5-7-83" ];
+    ]
+
+(* ---------------- §5.3 instance (non-equality bug) ------------------- *)
+
+let neq_parts =
+  Relation.of_values ~rel:"PARTS" parts_schema
+    [ [ i 3; i 0 ]; [ i 10; i 4 ]; [ i 8; i 4 ] ]
+
+let neq_supply =
+  Relation.of_values ~rel:"SUPPLY" supply_schema
+    [
+      [ i 3; i 4; date "7-3-79" ];
+      [ i 3; i 2; date "10-1-78" ];
+      [ i 10; i 1; date "6-8-78" ];
+      [ i 9; i 5; date "3-2-79" ];
+    ]
+
+(* ---------------- §5.4 instance (duplicates in PARTS) ---------------- *)
+
+let dup_parts =
+  Relation.of_values ~rel:"PARTS" parts_schema
+    [ [ i 3; i 6 ]; [ i 3; i 2 ]; [ i 10; i 1 ]; [ i 10; i 0 ]; [ i 8; i 0 ] ]
+
+let dup_supply =
+  Relation.of_values ~rel:"SUPPLY" supply_schema
+    [
+      [ i 3; i 4; date "8-14-77" ];
+      [ i 3; i 2; date "11-11-78" ];
+      [ i 10; i 1; date "6-22-76" ];
+    ]
+
+(* ---------------- Catalog builders ----------------------------------- *)
+
+type parts_variant = Count_bug | Neq_bug | Duplicates
+
+let parts_supply_catalog ?(buffer_pages = 8) ?(page_bytes = 64) variant =
+  let pager = Pager.create ~buffer_pages ~page_bytes () in
+  let catalog = Catalog.create pager in
+  let parts, supply =
+    match variant with
+    | Count_bug -> (kiessling_parts, kiessling_supply)
+    | Neq_bug -> (neq_parts, neq_supply)
+    | Duplicates -> (dup_parts, dup_supply)
+  in
+  Catalog.register_relation catalog "PARTS" parts;
+  Catalog.register_relation catalog "SUPPLY" supply;
+  catalog
+
+let kim_catalog ?(buffer_pages = 8) ?(page_bytes = 128) () =
+  let pager = Pager.create ~buffer_pages ~page_bytes () in
+  let catalog = Catalog.create pager in
+  Catalog.register_relation catalog "S" suppliers;
+  Catalog.register_relation catalog "P" parts;
+  Catalog.register_relation catalog "SP" shipments;
+  catalog
+
+(* ---------------- The paper's queries, as SQL text -------------------- *)
+
+(* Example 1: names of suppliers who supply part P2 (type-N). *)
+let example1 =
+  "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO = 'P2')"
+
+(* Example 2: type-A. *)
+let example2 = "SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)"
+
+(* Example 3: type-N. *)
+let example3 =
+  "SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P WHERE WEIGHT > 15)"
+
+(* Example 4: type-J. *)
+let example4 =
+  "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE QTY > 100 AND \
+   SP.ORIGIN = S.CITY)"
+
+(* Example 5: type-JA. *)
+let example5 =
+  "SELECT PNAME FROM P WHERE PNO = (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN \
+   = P.CITY)"
+
+(* Kiessling's query Q2 (the COUNT bug). *)
+let query_q2 =
+  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')"
+
+(* Query Q5 (§5.3: '<' in the correlation predicate). *)
+let query_q5 =
+  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY WHERE \
+   SUPPLY.PNUM < PARTS.PNUM AND SHIPDATE < '1-1-80')"
+
+(* Q2 with COUNT-star, §5.2.1. *)
+let query_q2_count_star =
+  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(*) FROM SUPPLY WHERE \
+   SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')"
+
+let parse_analyzed catalog text =
+  match Sql.Parser.parse text with
+  | Error msg -> invalid_arg ("Fixtures.parse_analyzed: " ^ msg)
+  | Ok q -> (
+      match Sql.Analyzer.analyze ~lookup:(Catalog.lookup catalog) q with
+      | Ok q -> q
+      | Error msg -> invalid_arg ("Fixtures.parse_analyzed: " ^ msg))

@@ -1,0 +1,174 @@
+(* Randomized workloads: synthetic PARTS/SUPPLY-style databases and random
+   nested queries of each of Kim's types.
+
+   These drive two things: the qcheck equivalence properties (for arbitrary
+   data and query parameters, the transformed program must agree with
+   nested-iteration semantics) and the benchmark sweeps (E7), where relation
+   sizes scale until the inner relation no longer fits in the buffer pool.
+
+   Deliberate restrictions, mirroring the paper's setting (see DESIGN.md):
+   no NULLs are generated (NEST-JA2's final equality join and nested
+   iteration diverge on NULL correlation values — both in the paper and
+   here), and AVG is excluded from random aggregates (float summation order
+   differs between the two executors; AVG is covered by unit tests). *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module Catalog = Storage.Catalog
+module Pager = Storage.Pager
+
+type rng = Random.State.t
+
+let int_in (rng : rng) lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+(* ---------------- data ------------------------------------------------ *)
+
+(* PARTS(PNUM, QOH): [n] rows; PNUM drawn from [1, key_range] so duplicates
+   appear when n > key_range (the §5.4 situation); QOH small so that COUNT
+   comparisons hit. *)
+let parts rng ~n ~key_range =
+  Relation.of_values ~rel:"PARTS"
+    [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
+    (List.init n (fun _ ->
+         [ Value.Int (int_in rng 1 key_range); Value.Int (int_in rng 0 4) ]))
+
+(* SUPPLY(PNUM, QUAN, SHIPDATE): dates spread around the restriction
+   boundary 1-1-80 so date predicates are selective. *)
+let supply rng ~n ~key_range =
+  Relation.of_values ~rel:"SUPPLY"
+    [ ("PNUM", Value.Tint); ("QUAN", Value.Tint); ("SHIPDATE", Value.Tdate) ]
+    (List.init n (fun _ ->
+         let year = int_in rng 1975 1984 in
+         let month = int_in rng 1 12 in
+         let day = int_in rng 1 28 in
+         [
+           Value.Int (int_in rng 1 key_range);
+           Value.Int (int_in rng 0 9);
+           Value.Date { year; month; day };
+         ]))
+
+let catalog_of ?(buffer_pages = 8) ?(page_bytes = 64) tables =
+  let pager = Pager.create ~buffer_pages ~page_bytes () in
+  let catalog = Catalog.create pager in
+  List.iter (fun (name, rel) -> Catalog.register_relation catalog name rel) tables;
+  catalog
+
+(* A random PARTS/SUPPLY catalog. *)
+let parts_supply_catalog ?buffer_pages ?page_bytes rng ~n_parts ~n_supply
+    ~key_range =
+  catalog_of ?buffer_pages ?page_bytes
+    [
+      ("PARTS", parts rng ~n:n_parts ~key_range);
+      ("SUPPLY", supply rng ~n:n_supply ~key_range);
+    ]
+
+(* ---------------- queries --------------------------------------------- *)
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let cmp_ops = [ "="; "<"; "<="; ">"; ">="; "!=" ]
+
+(* Type-N: uncorrelated IN. *)
+let n_query rng =
+  let quan = int_in rng 0 9 in
+  Printf.sprintf
+    "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY WHERE \
+     QUAN >= %d)"
+    quan
+
+(* Type-A: uncorrelated aggregate. *)
+let a_query rng =
+  let agg = pick rng [ "MAX(PNUM)"; "MIN(PNUM)"; "COUNT(PNUM)" ] in
+  let op = pick rng [ "="; "<"; ">=" ] in
+  Printf.sprintf "SELECT PNUM FROM PARTS WHERE QOH %s (SELECT %s FROM SUPPLY)"
+    op agg
+
+(* Type-J: correlated IN. *)
+let j_query rng =
+  let corr_op = pick rng cmp_ops in
+  let quan = int_in rng 0 9 in
+  Printf.sprintf
+    "SELECT QOH FROM PARTS WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE \
+     SUPPLY.PNUM %s PARTS.PNUM AND QUAN >= %d)"
+    corr_op quan
+
+(* Type-JA: correlated aggregate — the NEST-JA2 shapes, sweeping the
+   aggregate function, the correlation operator, inner date restrictions and
+   outer simple predicates. *)
+type ja_spec = {
+  agg : string;
+  op0 : string; (* outer comparison *)
+  corr_op : string; (* correlation operator *)
+  with_inner_filter : bool;
+  with_outer_filter : bool;
+}
+
+let random_ja_spec rng =
+  {
+    agg =
+      pick rng
+        [ "COUNT(SHIPDATE)"; "COUNT(*)"; "MAX(QUAN)"; "MIN(QUAN)"; "SUM(QUAN)" ];
+    op0 = pick rng [ "="; "<"; ">="; "!=" ];
+    corr_op = pick rng cmp_ops;
+    with_inner_filter = Random.State.bool rng;
+    with_outer_filter = Random.State.bool rng;
+  }
+
+let ja_query_of_spec spec =
+  Printf.sprintf "SELECT PNUM FROM PARTS WHERE %sQOH %s (SELECT %s FROM \
+                  SUPPLY WHERE SUPPLY.PNUM %s PARTS.PNUM%s)"
+    (if spec.with_outer_filter then "PNUM > 1 AND " else "")
+    spec.op0 spec.agg spec.corr_op
+    (if spec.with_inner_filter then " AND SHIPDATE < '1-1-80'" else "")
+
+let ja_query rng = ja_query_of_spec (random_ja_spec rng)
+
+(* Two-level nesting: J wrapping N, or JA whose inner has been filtered by a
+   deeper uncorrelated block. *)
+let deep_query rng =
+  match int_in rng 0 2 with
+  | 0 ->
+      Printf.sprintf
+        "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY WHERE \
+         QUAN IN (SELECT QOH FROM PARTS P2 WHERE P2.QOH >= %d))"
+        (int_in rng 0 3)
+  | 1 ->
+      Printf.sprintf
+        "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM \
+         SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND QUAN IN (SELECT QUAN \
+         FROM SUPPLY X WHERE X.QUAN >= %d))"
+        (int_in rng 0 5)
+  | _ ->
+      Printf.sprintf
+        "SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY \
+         WHERE SUPPLY.PNUM %s PARTS.PNUM AND QUAN IN (SELECT QUAN FROM \
+         SUPPLY X WHERE X.QUAN >= %d))"
+        (pick rng [ "="; "<" ])
+        (int_in rng 0 5)
+
+(* Flat multi-join queries (no nesting) — exercise the planner directly. *)
+let flat_query rng =
+  match int_in rng 0 4 with
+  | 0 -> Printf.sprintf "SELECT PNUM FROM PARTS WHERE QOH >= %d" (int_in rng 0 4)
+  | 1 ->
+      Printf.sprintf
+        "SELECT PARTS.PNUM FROM PARTS, SUPPLY WHERE PARTS.PNUM = SUPPLY.PNUM          AND QUAN >= %d"
+        (int_in rng 0 9)
+  | 2 ->
+      "SELECT PARTS.PNUM, SUPPLY.QUAN FROM PARTS, SUPPLY WHERE PARTS.PNUM =        SUPPLY.PNUM AND PARTS.QOH < SUPPLY.QUAN"
+  | 3 ->
+      Printf.sprintf
+        "SELECT DISTINCT PNUM FROM SUPPLY WHERE QUAN >= %d" (int_in rng 0 9)
+  | _ ->
+      "SELECT PNUM, COUNT(QUAN), MAX(QUAN) FROM SUPPLY GROUP BY PNUM"
+
+(* ---------------- sized benchmark workloads ---------------------------- *)
+
+(* A deterministic scaled database for the E7 sweeps: [scale] supply rows
+   per part, [n_parts] parts. *)
+let scaled_catalog ?buffer_pages ?page_bytes ~seed ~n_parts ~supply_per_part ()
+    =
+  let rng = Random.State.make [| seed |] in
+  let n_supply = n_parts * supply_per_part in
+  parts_supply_catalog ?buffer_pages ?page_bytes rng ~n_parts ~n_supply
+    ~key_range:n_parts

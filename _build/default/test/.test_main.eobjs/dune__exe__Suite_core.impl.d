@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Core List Optimizer Relalg Result Sql String Workload

@@ -1,0 +1,1 @@
+test/suite_edge_cases.ml: Alcotest Cost Exec Float Fmt List Nest_g Optimizer Planner Printf Program Relalg Result Sql Storage String Workload

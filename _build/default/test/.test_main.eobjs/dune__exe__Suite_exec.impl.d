@@ -1,0 +1,1 @@
+test/suite_exec.ml: Alcotest Exec List Option Printf QCheck2 QCheck_alcotest Relalg Sql Storage Workload

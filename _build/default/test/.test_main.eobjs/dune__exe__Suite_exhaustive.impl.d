@@ -1,0 +1,1 @@
+test/suite_exhaustive.ml: Alcotest Exec List Optimizer Printf Relalg Storage Workload

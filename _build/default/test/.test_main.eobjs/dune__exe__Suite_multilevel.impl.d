@@ -1,0 +1,1 @@
+test/suite_multilevel.ml: Alcotest Exec List Nest_g Optimizer Planner Printf Program Relalg Storage String Workload

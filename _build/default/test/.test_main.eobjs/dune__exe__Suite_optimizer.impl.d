@@ -1,0 +1,1 @@
+test/suite_optimizer.ml: Alcotest Classify Cost Exec Extensions Float List Nest_g Nest_ja Nest_ja2 Nest_n_j Optimizer Planner Printf Program Relalg Sql Storage String Workload

@@ -1,0 +1,1 @@
+test/suite_properties.ml: Exec Fmt List Optimizer QCheck2 QCheck_alcotest Random Relalg Sql Storage Workload

@@ -1,0 +1,1 @@
+test/suite_relalg.ml: Alcotest List Option QCheck2 QCheck_alcotest Relalg Relation Row Schema Stdlib Truth Value

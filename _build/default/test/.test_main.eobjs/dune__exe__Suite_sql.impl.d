@@ -1,0 +1,1 @@
+test/suite_sql.ml: Alcotest Analyzer Ast Lexer List Parser Pp Relalg Sql Storage String Workload

@@ -1,0 +1,1 @@
+test/suite_storage.ml: Alcotest Catalog External_sort Float Heap_file Index List Pager Printf QCheck2 QCheck_alcotest Relalg Sql Stats Storage

@@ -1,0 +1,1 @@
+test/suite_tree_trace.ml: Alcotest Classify Exec List Nest_g Optimizer Planner Query_tree Relalg Storage String Workload

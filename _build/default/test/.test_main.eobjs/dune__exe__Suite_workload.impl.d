@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Core Filename List Optimizer Random Relalg Result Storage Sys Workload

@@ -1,0 +1,127 @@
+(* The public facade: the five-line API a downstream user sees. *)
+
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+module F = Workload.Fixtures
+
+let make_parts_db () =
+  let db = Core.create_db ~buffer_pages:8 ~page_bytes:64 () in
+  let define name rel =
+    Core.define_table db name
+      (List.map
+         (fun (c : Core.Schema.column) -> (c.name, c.ty))
+         (Core.Schema.columns (Relation.schema rel)))
+      (List.map Relalg.Row.to_list (Relation.rows rel))
+  in
+  define "PARTS" F.kiessling_parts;
+  define "SUPPLY" F.kiessling_supply;
+  db
+
+let test_define_and_table () =
+  let db = make_parts_db () in
+  Alcotest.(check int) "parts cardinality" 3
+    (Relation.cardinality (Core.table db "PARTS"));
+  Alcotest.(check bool) "unknown table raises" true
+    (try
+       ignore (Core.table db "NOPE");
+       false
+     with Core.Catalog.Unknown_table _ -> true)
+
+let test_parse_and_classify () =
+  let db = make_parts_db () in
+  (match Core.parse db F.query_q2 with
+  | Ok q -> Alcotest.(check int) "depth" 1 (Sql.Ast.nesting_depth q)
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (match Core.classify db F.query_q2 with
+  | Ok (Some Optimizer.Classify.Type_ja) -> ()
+  | _ -> Alcotest.fail "classification");
+  match Core.parse db "SELECT NOPE FROM PARTS" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected analysis error"
+
+let test_run_strategies_agree () =
+  let db = make_parts_db () in
+  let nested =
+    Result.get_ok (Core.run ~strategy:Core.Nested_iteration db F.query_q2)
+  in
+  let transformed =
+    Result.get_ok
+      (Core.run ~strategy:(Core.Transformed Optimizer.Planner.Auto) db
+         F.query_q2)
+  in
+  Alcotest.(check bool) "nested is not transformed" false
+    nested.Core.used_transformation;
+  Alcotest.(check bool) "transformed is" true
+    transformed.Core.used_transformation;
+  Alcotest.(check bool) "program attached" true
+    (transformed.Core.program <> None);
+  Alcotest.(check bool) "results equal" true
+    (Relation.equal_bag nested.Core.result transformed.Core.result);
+  (* temps are cleaned up: the run can be repeated *)
+  let again =
+    Result.get_ok
+      (Core.run ~strategy:(Core.Transformed Optimizer.Planner.Auto) db
+         F.query_q2)
+  in
+  Alcotest.(check bool) "repeatable" true
+    (Relation.equal_bag transformed.Core.result again.Core.result)
+
+let test_auto_falls_back () =
+  let db = make_parts_db () in
+  (* NOT IN is untransformable by default: Auto must fall back. *)
+  let e =
+    Result.get_ok
+      (Core.run db "SELECT PNUM FROM PARTS WHERE PNUM NOT IN (SELECT PNUM \
+                    FROM SUPPLY WHERE QUAN > 4)")
+  in
+  Alcotest.(check bool) "fell back to nested iteration" false
+    e.Core.used_transformation;
+  Alcotest.(check int) "correct answer" 2 (Relation.cardinality e.Core.result)
+
+let test_compare_strategies () =
+  let db = make_parts_db () in
+  let c = Result.get_ok (Core.compare_strategies db F.query_q2) in
+  Alcotest.(check bool) "agree" true c.Core.agree;
+  Alcotest.(check bool) "transformed present" true (c.Core.transformed <> None)
+
+let test_explain_output () =
+  let db = make_parts_db () in
+  let text = Result.get_ok (Core.explain db F.query_q2) in
+  Alcotest.(check bool) "mentions merge or nested-loop join" true
+    (let has needle =
+       let re = ref false in
+       String.iteri
+         (fun i _ ->
+           if
+             i + String.length needle <= String.length text
+             && String.sub text i (String.length needle) = needle
+           then re := true)
+         text;
+       !re
+     in
+     has "join" && has "Scan")
+
+let test_io_accounting_isolated () =
+  let db = make_parts_db () in
+  let e1 = Result.get_ok (Core.run ~strategy:Core.Nested_iteration db F.query_q2) in
+  let e2 = Result.get_ok (Core.run ~strategy:Core.Nested_iteration db F.query_q2) in
+  (* Second run may be cheaper (pool warm) but never negative, and logical
+     reads must be equal. *)
+  Alcotest.(check int) "same logical reads"
+    e1.Core.io.Core.Pager.logical_reads e2.Core.io.Core.Pager.logical_reads;
+  Alcotest.(check bool) "non-negative" true
+    (e2.Core.io.Core.Pager.physical_reads >= 0)
+
+let suites =
+  [
+    ( "core.facade",
+      [
+        Alcotest.test_case "define/table" `Quick test_define_and_table;
+        Alcotest.test_case "parse/classify" `Quick test_parse_and_classify;
+        Alcotest.test_case "strategies agree" `Quick test_run_strategies_agree;
+        Alcotest.test_case "auto falls back" `Quick test_auto_falls_back;
+        Alcotest.test_case "compare" `Quick test_compare_strategies;
+        Alcotest.test_case "explain" `Quick test_explain_output;
+        Alcotest.test_case "io accounting" `Quick test_io_accounting_isolated;
+      ] );
+  ]

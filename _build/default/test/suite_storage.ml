@@ -1,0 +1,364 @@
+(* Pager (LRU + counters), heap files and external sort. *)
+
+module Value = Relalg.Value
+module Row = Relalg.Row
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+open Storage
+
+let int_schema = Schema.of_columns ~rel:"T" [ ("a", Value.Tint) ]
+
+let row i = Row.of_list [ Value.Int i ]
+
+let test_pager_counters () =
+  let pager = Pager.create ~buffer_pages:2 ~page_bytes:64 () in
+  let f = Pager.create_file pager in
+  Pager.append_page pager f [| row 1 |];
+  Pager.append_page pager f [| row 2 |];
+  Pager.append_page pager f [| row 3 |];
+  let s = Pager.stats pager in
+  Alcotest.(check int) "three writes" 3 s.physical_writes;
+  (* Pages 1 and 2 are resident (B=2); reading them is free, page 0 was
+     evicted. *)
+  ignore (Pager.read_page pager f 2);
+  ignore (Pager.read_page pager f 0);
+  Alcotest.(check int) "logical reads" 2 s.logical_reads;
+  Alcotest.(check int) "one miss" 1 s.physical_reads
+
+let test_pager_lru () =
+  let pager = Pager.create ~buffer_pages:2 ~page_bytes:64 () in
+  let f = Pager.create_file pager in
+  for i = 0 to 2 do
+    Pager.append_page pager f [| row i |]
+  done;
+  Pager.reset_stats pager;
+  (* Resident: pages 1,2.  Access 1 (hit), then 0 (miss, evicts 2), then 2
+     (miss). *)
+  ignore (Pager.read_page pager f 1);
+  ignore (Pager.read_page pager f 0);
+  ignore (Pager.read_page pager f 2);
+  ignore (Pager.read_page pager f 0);
+  (* hit: 0 still resident *)
+  let s = Pager.stats pager in
+  Alcotest.(check int) "misses follow LRU" 2 s.physical_reads;
+  Alcotest.(check int) "logical" 4 s.logical_reads
+
+let test_pager_repeated_scan_fits () =
+  (* An inner relation that fits in the pool costs its pages once no matter
+     how many times it is re-scanned — the regime where nested iteration is
+     competitive. *)
+  let pager = Pager.create ~buffer_pages:8 ~page_bytes:64 () in
+  let f = Pager.create_file pager in
+  for i = 0 to 3 do
+    Pager.append_page pager f [| row i |]
+  done;
+  Pager.reset_stats pager;
+  for _ = 1 to 10 do
+    for i = 0 to 3 do
+      ignore (Pager.read_page pager f i)
+    done
+  done;
+  let s = Pager.stats pager in
+  Alcotest.(check int) "40 logical" 40 s.logical_reads;
+  Alcotest.(check int) "0 misses" 0 s.physical_reads
+
+let test_pager_repeated_scan_thrashes () =
+  (* When the relation exceeds the pool, LRU + sequential scans miss on
+     every page: N scans cost N*P reads — the paper's f(i)*Ni*Pj regime. *)
+  let pager = Pager.create ~buffer_pages:2 ~page_bytes:64 () in
+  let f = Pager.create_file pager in
+  for i = 0 to 3 do
+    Pager.append_page pager f [| row i |]
+  done;
+  Pager.reset_stats pager;
+  for _ = 1 to 5 do
+    for i = 0 to 3 do
+      ignore (Pager.read_page pager f i)
+    done
+  done;
+  let s = Pager.stats pager in
+  Alcotest.(check int) "every read misses" 20 s.physical_reads
+
+let test_pager_validation () =
+  Alcotest.(check bool) "B >= 2 enforced" true
+    (try
+       ignore (Pager.create ~buffer_pages:1 ());
+       false
+     with Invalid_argument _ -> true);
+  let pager = Pager.create () in
+  let f = Pager.create_file pager in
+  Alcotest.(check bool) "missing page" true
+    (try
+       ignore (Pager.read_page pager f 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_file_roundtrip () =
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:32 () in
+  let rel =
+    Relation.make int_schema (List.init 37 row)
+  in
+  let heap = Heap_file.of_relation pager rel in
+  Alcotest.(check int) "tuples" 37 (Heap_file.tuple_count heap);
+  Alcotest.(check bool) "multiple pages" true (Heap_file.page_count heap > 1);
+  let back = Heap_file.to_relation heap in
+  Alcotest.(check bool) "round trip preserves rows & order" true
+    (List.equal Row.equal (Relation.rows rel) (Relation.rows back))
+
+let test_heap_file_partial_page () =
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:1024 () in
+  let heap = Heap_file.create pager int_schema in
+  Heap_file.append heap (row 1);
+  (* unflushed tail still counts as a page and scans see it *)
+  Alcotest.(check int) "tail page counted" 1 (Heap_file.page_count heap);
+  let back = Heap_file.to_relation heap in
+  Alcotest.(check int) "scan flushes tail" 1 (Relation.cardinality back)
+
+let test_heap_file_arity_check () =
+  let pager = Pager.create () in
+  let heap = Heap_file.create pager int_schema in
+  Alcotest.(check bool) "arity mismatch" true
+    (try
+       Heap_file.append heap (Row.of_list Value.[ Int 1; Int 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let sort_values pager ?dedup xs =
+  let rel = Relation.make int_schema (List.map row xs) in
+  let heap = Heap_file.of_relation pager rel in
+  let sorted = External_sort.sort pager ?dedup ~key:[ 0 ] heap in
+  List.map
+    (function
+      | [ Value.Int i ] -> i
+      | _ -> Alcotest.fail "bad row")
+    (List.map Row.to_list (Relation.rows (Heap_file.to_relation sorted)))
+
+let test_external_sort_small () =
+  let pager = Pager.create ~buffer_pages:3 ~page_bytes:32 () in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ]
+    (sort_values pager [ 4; 2; 5; 1; 3 ]);
+  Alcotest.(check (list int)) "empty" [] (sort_values pager []);
+  Alcotest.(check (list int)) "dedup"
+    [ 1; 2; 3 ]
+    (sort_values pager ~dedup:External_sort.Drop_duplicates [ 2; 1; 2; 3; 1 ])
+
+let test_external_sort_multipass () =
+  (* Force several merge passes: B=3 gives 2-way merges. *)
+  let pager = Pager.create ~buffer_pages:3 ~page_bytes:16 () in
+  let input = List.init 200 (fun i -> (i * 7919) mod 201) in
+  let got = sort_values pager input in
+  Alcotest.(check (list int)) "multipass sort" (List.sort compare input) got;
+  let got_dedup =
+    sort_values pager ~dedup:External_sort.Drop_duplicates input
+  in
+  Alcotest.(check (list int)) "multipass dedup"
+    (List.sort_uniq compare input)
+    got_dedup
+
+let test_external_sort_io_shape () =
+  (* Sorting P pages with B buffers should cost on the order of
+     2*P*(1 + ceil(log_{B-1}(P/B))) page I/Os — linear passes over the data,
+     not quadratic. *)
+  let pager = Pager.create ~buffer_pages:3 ~page_bytes:16 () in
+  let rel = Relation.make int_schema (List.init 256 (fun i -> row (255 - i))) in
+  let heap = Heap_file.of_relation pager rel in
+  let p = Heap_file.page_count heap in
+  Pager.reset_stats pager;
+  let sorted = External_sort.sort pager ~key:[ 0 ] heap in
+  ignore sorted;
+  let s = Pager.stats pager in
+  let passes_upper = 2 + int_of_float (ceil (log (float p) /. log 2.)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "io %d for %d pages is O(P log P)" (Pager.total_io s) p)
+    true
+    (Pager.total_io s <= 2 * p * passes_upper)
+
+(* --- Index --------------------------------------------------------------- *)
+
+let kv_schema = Schema.of_columns ~rel:"T" [ ("k", Value.Tint); ("v", Value.Tint) ]
+
+let kv_heap pager rows =
+  Heap_file.of_relation pager
+    (Relation.make kv_schema
+       (List.map (fun (k, v) -> Row.of_list [ Value.Int k; Value.Int v ]) rows))
+
+let test_index_lookup () =
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:48 () in
+  let heap = kv_heap pager [ (5, 50); (1, 10); (5, 51); (3, 30); (1, 11) ] in
+  let idx = Index.build pager heap ~key_col:0 in
+  Alcotest.(check int) "entries" 5 (Index.entry_count idx);
+  let values key =
+    List.map (fun r -> Row.get r 1) (Index.lookup_eq idx (Value.Int key))
+    |> List.sort Value.compare
+  in
+  Alcotest.(check bool) "duplicates found" true
+    (values 5 = [ Value.Int 50; Value.Int 51 ]);
+  Alcotest.(check bool) "single" true (values 3 = [ Value.Int 30 ]);
+  Alcotest.(check bool) "missing" true (values 99 = []);
+  Alcotest.(check bool) "null probe matches nothing" true
+    (Index.lookup_eq idx Value.Null = [])
+
+let test_index_null_keys_excluded () =
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:48 () in
+  let heap =
+    Heap_file.of_relation pager
+      (Relation.make kv_schema
+         [ Row.of_list [ Value.Null; Value.Int 1 ];
+           Row.of_list [ Value.Int 2; Value.Int 2 ] ])
+  in
+  let idx = Index.build pager heap ~key_col:0 in
+  Alcotest.(check int) "null keys not indexed" 1 (Index.entry_count idx)
+
+let test_index_probe_costs_io () =
+  let pager = Pager.create ~buffer_pages:2 ~page_bytes:32 () in
+  let heap = kv_heap pager (List.init 64 (fun i -> (i, i))) in
+  Pager.reset_stats pager;
+  let idx = Index.build pager heap ~key_col:0 in
+  let s = Pager.stats pager in
+  Alcotest.(check int) "build not charged" 0 s.physical_reads;
+  ignore (Index.lookup_eq idx (Value.Int 40));
+  let s = Pager.stats pager in
+  Alcotest.(check bool) "probe charged" true (s.logical_reads > 0)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_stats_columns () =
+  let rel =
+    Relation.of_values ~rel:"T"
+      [ ("K", Value.Tint); ("S", Value.Tstr) ]
+      Value.
+        [
+          [ Int 1; Str "a" ]; [ Int 1; Str "b" ]; [ Int 3; Null ];
+          [ Int 7; Str "a" ];
+        ]
+  in
+  let stats = Stats.of_relation rel in
+  Alcotest.(check int) "tuples" 4 (Stats.tuples stats);
+  let k = Stats.column stats 0 in
+  Alcotest.(check int) "distinct K" 3 k.Stats.distinct;
+  Alcotest.(check int) "nulls K" 0 k.Stats.nulls;
+  Alcotest.(check bool) "min K" true (k.Stats.min = Some (Value.Int 1));
+  Alcotest.(check bool) "max K" true (k.Stats.max = Some (Value.Int 7));
+  let s = Stats.column stats 1 in
+  Alcotest.(check int) "distinct S" 2 s.Stats.distinct;
+  Alcotest.(check int) "nulls S" 1 s.Stats.nulls
+
+let test_stats_selectivity () =
+  let c =
+    { Stats.distinct = 10; nulls = 0; min = Some (Value.Int 0);
+      max = Some (Value.Int 100) }
+  in
+  Alcotest.(check bool) "eq = 1/distinct" true
+    (Stats.literal_selectivity c Sql.Ast.Eq (Value.Int 5) = 0.1);
+  let lt = Stats.literal_selectivity c Sql.Ast.Lt (Value.Int 25) in
+  Alcotest.(check bool) "range interpolates" true (lt > 0.2 && lt < 0.3);
+  let gt = Stats.literal_selectivity c Sql.Ast.Gt (Value.Int 25) in
+  Alcotest.(check bool) "complement" true (Float.abs (lt +. gt -. 1.) < 0.01);
+  Alcotest.(check bool) "clamped away from 0" true
+    (Stats.literal_selectivity c Sql.Ast.Lt (Value.Int (-5)) >= 0.05);
+  let empty = { Stats.distinct = 0; nulls = 0; min = None; max = None } in
+  Alcotest.(check bool) "no stats falls back" true
+    (Stats.literal_selectivity empty Sql.Ast.Lt (Value.Int 1)
+    = Stats.default_range_selectivity);
+  Alcotest.(check bool) "join selectivity" true
+    (Stats.join_selectivity c c = 0.1)
+
+let test_stats_io_free () =
+  (* Registration (including stats collection) must not charge the I/O
+     counters beyond the heap writes themselves. *)
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:32 () in
+  let catalog = Catalog.create pager in
+  Pager.reset_stats pager;
+  Catalog.register_relation catalog "T"
+    (Relation.make int_schema (List.init 50 row));
+  let s = Pager.stats pager in
+  Alcotest.(check int) "no reads charged for stats" 0 s.physical_reads
+
+let test_catalog_basics () =
+  let pager = Pager.create () in
+  let catalog = Catalog.create pager in
+  Catalog.register_relation catalog "T"
+    (Relation.make int_schema (List.init 5 row));
+  Alcotest.(check bool) "mem" true (Catalog.mem catalog "T");
+  Alcotest.(check int) "tuples" 5 (Catalog.tuples catalog "T");
+  Alcotest.(check bool) "lookup" true (Catalog.lookup catalog "T" <> None);
+  Alcotest.(check bool) "unknown lookup" true (Catalog.lookup catalog "X" = None);
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Catalog.relation catalog "X");
+       false
+     with Catalog.Unknown_table "X" -> true);
+  Alcotest.(check bool) "dup register" true
+    (try
+       Catalog.register_relation catalog "T" (Relation.make int_schema []);
+       false
+     with Invalid_argument _ -> true);
+  let t1 = Catalog.fresh_temp_name catalog in
+  let t2 = Catalog.fresh_temp_name catalog in
+  Alcotest.(check bool) "fresh names differ" true (t1 <> t2);
+  Catalog.drop catalog "T";
+  Alcotest.(check bool) "dropped" false (Catalog.mem catalog "T")
+
+let test_catalog_sorted_on () =
+  let pager = Pager.create () in
+  let catalog = Catalog.create pager in
+  Catalog.register_relation ~sorted_on:[ 0 ] catalog "T"
+    (Relation.make int_schema (List.init 3 row));
+  Alcotest.(check bool) "sorted metadata" true
+    (Catalog.sorted_on catalog "T" = Some [ 0 ])
+
+(* Property: external sort equals in-memory sort, with and without dedup. *)
+let prop_sort_matches_list_sort =
+  QCheck2.Test.make ~name:"external sort = List.sort" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 50))
+    (fun xs ->
+      let pager = Storage.Pager.create ~buffer_pages:3 ~page_bytes:16 () in
+      sort_values pager xs = List.sort compare xs
+      && sort_values pager ~dedup:External_sort.Drop_duplicates xs
+         = List.sort_uniq compare xs)
+
+let suites =
+  [
+    ( "storage.pager",
+      [
+        Alcotest.test_case "counters" `Quick test_pager_counters;
+        Alcotest.test_case "lru eviction" `Quick test_pager_lru;
+        Alcotest.test_case "rescan fits in pool" `Quick
+          test_pager_repeated_scan_fits;
+        Alcotest.test_case "rescan thrashes" `Quick
+          test_pager_repeated_scan_thrashes;
+        Alcotest.test_case "validation" `Quick test_pager_validation;
+      ] );
+    ( "storage.heap_file",
+      [
+        Alcotest.test_case "round trip" `Quick test_heap_file_roundtrip;
+        Alcotest.test_case "partial page" `Quick test_heap_file_partial_page;
+        Alcotest.test_case "arity check" `Quick test_heap_file_arity_check;
+      ] );
+    ( "storage.external_sort",
+      [
+        Alcotest.test_case "small inputs" `Quick test_external_sort_small;
+        Alcotest.test_case "multipass" `Quick test_external_sort_multipass;
+        Alcotest.test_case "io shape" `Quick test_external_sort_io_shape;
+        QCheck_alcotest.to_alcotest prop_sort_matches_list_sort;
+      ] );
+    ( "storage.index",
+      [
+        Alcotest.test_case "lookup" `Quick test_index_lookup;
+        Alcotest.test_case "null keys excluded" `Quick
+          test_index_null_keys_excluded;
+        Alcotest.test_case "probe I/O accounting" `Quick
+          test_index_probe_costs_io;
+      ] );
+    ( "storage.stats",
+      [
+        Alcotest.test_case "column stats" `Quick test_stats_columns;
+        Alcotest.test_case "selectivity" `Quick test_stats_selectivity;
+        Alcotest.test_case "collection is I/O-free" `Quick test_stats_io_free;
+      ] );
+    ( "storage.catalog",
+      [
+        Alcotest.test_case "basics" `Quick test_catalog_basics;
+        Alcotest.test_case "sorted_on metadata" `Quick test_catalog_sorted_on;
+      ] );
+  ]
