@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all check test bench bench-json clean
+
+all:
+	dune build
+
+# Tier-1 verification: full build plus the alcotest/qcheck suite.
+check:
+	dune build && dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable perf run: writes BENCH_perf.json (wall-clock, page I/O,
+# rows over the query grid plus the pager scaling microbench).
+bench-json:
+	dune exec bench/main.exe -- --json
+
+clean:
+	dune clean

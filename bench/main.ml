@@ -660,6 +660,189 @@ let timing () =
   print_table ~title:"Wall-clock (bechamel, monotonic clock, ns/run OLS)"
     ~header:[ "benchmark"; "time/run" ] rows
 
+(* ---------------- BENCH_perf.json -------------------------------------- *)
+
+(* Machine-readable perf harness: wall-clock (Unix.gettimeofday), logical /
+   physical page I/O and row counts over a fixed query grid (up to a
+   10k-row SUPPLY), comparing nested iteration, the paper-mode pipeline and
+   the hybrid-mode pipeline; plus a pager microbench that pins the O(1)
+   page-touch claim (cost flat as the pool grows).  Written to
+   BENCH_perf.json for regression tracking across commits. *)
+
+let time_io catalog run =
+  let pager = Catalog.pager catalog in
+  let before = Pager.snapshot pager in
+  let t0 = Unix.gettimeofday () in
+  let result = run () in
+  let wall = Unix.gettimeofday () -. t0 in
+  (result, wall, Pager.diff_since pager before)
+
+(* Minimal JSON emitters — the values are all numbers and fixed strings. *)
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat "," items ^ "]"
+let json_str s = Printf.sprintf "%S" s
+let json_f x = Printf.sprintf "%.6f" x
+let json_i i = string_of_int i
+
+(* One strategy execution on a fresh catalog. *)
+let run_strategy ~buffer_pages ~page_bytes ~n_parts ~supply_per_part text
+    strategy =
+  let catalog =
+    G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
+      ~supply_per_part ()
+  in
+  let q = F.parse_analyzed catalog text in
+  let run () =
+    match strategy with
+    | `Nested -> Exec.Sysr_iteration.run catalog q
+    | `Paper | `Hybrid ->
+        let mode =
+          match strategy with `Hybrid -> Planner.Hybrid | _ -> Planner.Paper1987
+        in
+        let program =
+          Nest_g.transform
+            ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+            q
+        in
+        Planner.run_program ~mode catalog program
+  in
+  let result, wall, io = time_io catalog run in
+  (Relation.cardinality result, wall, io)
+
+let strategy_json name (rows, wall, (io : Pager.stats)) =
+  json_obj
+    [
+      ("name", json_str name);
+      ("wall_s", json_f wall);
+      ("logical_reads", json_i io.Pager.logical_reads);
+      ("physical_reads", json_i io.Pager.physical_reads);
+      ("physical_writes", json_i io.Pager.physical_writes);
+      ("rows", json_i rows);
+    ]
+
+(* The grid: 100 parts, SUPPLY scaling 500 -> 10000 rows.  The pool is
+   sized so the hybrid planner's hash paths are eligible at every scale;
+   nested iteration is skipped at the largest scales where its quadratic
+   page traffic dominates the whole run. *)
+let json_grid () =
+  let buffer_pages = 1024 and page_bytes = 256 in
+  let n_parts = 100 in
+  let scales = [ 5; 10; 25; 50; 100 ] in
+  List.concat_map
+    (fun (kind, text) ->
+      List.map
+        (fun supply_per_part ->
+          let run s =
+            run_strategy ~buffer_pages ~page_bytes ~n_parts ~supply_per_part
+              text s
+          in
+          let supply_rows = n_parts * supply_per_part in
+          let nested =
+            if supply_rows <= 2500 then Some (run `Nested) else None
+          in
+          let paper = run `Paper in
+          let hybrid = run `Hybrid in
+          let _, paper_wall, _ = paper and _, hybrid_wall, _ = hybrid in
+          let strategies =
+            (match nested with
+             | Some r -> [ strategy_json "nested_iteration" r ]
+             | None -> [])
+            @ [
+                strategy_json "transformed_paper1987" paper;
+                strategy_json "transformed_hybrid" hybrid;
+              ]
+          in
+          ( kind,
+            supply_rows,
+            paper_wall /. hybrid_wall,
+            json_obj
+              [
+                ("query", json_str kind);
+                ("n_parts", json_i n_parts);
+                ("supply_rows", json_i supply_rows);
+                ("buffer_pages", json_i buffer_pages);
+                ("page_bytes", json_i page_bytes);
+                ("strategies", json_arr strategies);
+                ("hybrid_speedup_vs_paper", json_f (paper_wall /. hybrid_wall));
+              ] ))
+        scales)
+    sweep_queries
+
+(* Pager page-touch microbench: a pool-resident file of B pages touched
+   uniformly at random.  Every touch is a hit, so the measured cost is pure
+   LRU maintenance — it must stay flat as B grows (O(1) hashtable + linked
+   list), where a list-based LRU degrades linearly. *)
+let json_pager_scaling () =
+  let touches = 200_000 in
+  let point buffer_pages =
+    let pager = Pager.create ~buffer_pages ~page_bytes:64 () in
+    let f = Pager.create_file pager in
+    for _ = 1 to buffer_pages do
+      Pager.append_page pager f [||]
+    done;
+    let rng = Random.State.make [| 7 |] in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to touches do
+      ignore (Pager.read_page pager f (Random.State.int rng buffer_pages))
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (buffer_pages, wall *. 1e9 /. float_of_int touches)
+  in
+  let points = List.map point [ 16; 128; 1024; 8192 ] in
+  let ns = List.map snd points in
+  let flatness =
+    List.fold_left Float.max 0. ns /. List.fold_left Float.min infinity ns
+  in
+  ( flatness,
+    json_obj
+      [
+        ("touches", json_i touches);
+        ( "points",
+          json_arr
+            (List.map
+               (fun (b, ns) ->
+                 json_obj
+                   [ ("buffer_pages", json_i b); ("ns_per_touch", json_f ns) ])
+               points) );
+        ("flatness_max_over_min", json_f flatness);
+      ] )
+
+let json_bench () =
+  let grid = json_grid () in
+  let flatness, pager_json = json_pager_scaling () in
+  (* Headline numbers: hybrid-vs-paper wall-clock speedup at the 10k scale. *)
+  let speedups_10k =
+    List.filter_map
+      (fun (kind, supply_rows, speedup, _) ->
+        if supply_rows = 10_000 then
+          Some (kind, json_f speedup)
+        else None)
+      grid
+  in
+  let doc =
+    json_obj
+      [
+        ("schema_version", json_i 1);
+        ("queries", json_arr (List.map (fun (_, _, _, j) -> j) grid));
+        ("pager_scaling", pager_json);
+        ("hybrid_speedup_10k", json_obj speedups_10k);
+      ]
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (kind, rows, speedup, _) ->
+      Fmt.pr "%-8s %6d supply rows: hybrid %.2fx vs paper wall-clock@." kind
+        rows speedup)
+    grid;
+  Fmt.pr "pager page-touch flatness (max/min ns over B=16..8192): %.2f@."
+    flatness;
+  Fmt.pr "wrote BENCH_perf.json@."
+
 (* ---------------- driver ------------------------------------------------ *)
 
 let sections =
@@ -671,11 +854,10 @@ let sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] -> args
-    | _ -> List.map fst sections
-  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--json" args then json_bench ()
+  else
+  let requested = if args <> [] then args else List.map fst sections in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

@@ -58,13 +58,16 @@ let filter ~(pred : Row.t -> Truth.t) (input : t) : t =
   { schema = input.schema; next }
 
 let project ~idxs (input : t) : t =
+  (* Positions are compiled to an array once; the per-row work is one array
+     map, not a list traversal. *)
+  let positions = Array.of_list idxs in
   {
     schema = Schema.project input.schema idxs;
     next =
       (fun () ->
         match input.next () with
         | None -> None
-        | Some r -> Some (Row.project r idxs));
+        | Some r -> Some (Row.project_positions r positions));
   }
 
 (* Evaluate select-item-shaped scalar expressions; used for constant columns
@@ -93,6 +96,25 @@ let sort pager ?(dedup = Storage.External_sort.Keep_duplicates) ~key (input : t)
 let distinct pager (input : t) : t =
   let key = List.init (Schema.arity input.schema) Fun.id in
   sort pager ~dedup:Storage.External_sort.Drop_duplicates ~key input
+
+(* Hash-based duplicate elimination (beyond the paper): stream the input,
+   holding one copy of each distinct row in memory.  No page I/O and no
+   sort; output is in first-occurrence order.  The planner's hybrid mode
+   chooses this only when the distinct result is estimated to fit the
+   buffer pool; {!distinct} remains the paper-faithful sort-based path. *)
+let hash_distinct (input : t) : t =
+  let seen : (Row.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec next () =
+    match input.next () with
+    | None -> None
+    | Some r ->
+        if Hashtbl.mem seen r then next ()
+        else begin
+          Hashtbl.add seen r ();
+          Some r
+        end
+  in
+  { schema = input.schema; next }
 
 (* ------------------------------------------------------------------ *)
 (* Nested-loop joins                                                   *)
@@ -183,32 +205,54 @@ let merge_join ?(outer_join = false)
   let right_arity = Schema.arity right.schema in
   let pad = Row.nulls right_arity in
   let schema = Schema.append left.schema right.schema in
-  let key_of idxs r = List.map (Row.get r) idxs in
-  let compare_keys a b =
-    List.fold_left2
-      (fun acc x y -> if acc <> 0 then acc else Value.compare x y)
-      0 a b
+  (* Key positions compiled to arrays once; comparisons read the rows in
+     place instead of materializing a key list per row (the per-tuple
+     allocation that dominated large merge joins). *)
+  let lk = Array.of_list left_key and rk = Array.of_list right_key in
+  let nk = Array.length lk in
+  let cmp_lr l r =
+    let rec go i =
+      if i >= nk then 0
+      else
+        let c = Value.compare (Row.get l lk.(i)) (Row.get r rk.(i)) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let cmp_ll l l' =
+    let rec go i =
+      if i >= nk then 0
+      else
+        let c = Value.compare (Row.get l lk.(i)) (Row.get l' lk.(i)) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  (* Keys containing NULL never join (SQL semantics): skip such rows on both
+     sides ([outer_join] still pads the left ones). *)
+  let key_has_null idxs r =
+    Array.exists (fun i -> Value.is_null (Row.get r i)) idxs
   in
   let residual_ok l r =
     match residual with
     | None -> true
     | Some f -> Truth.to_bool (f l r)
   in
-  (* Keys containing NULL never join (SQL semantics): skip such rows on both
-     sides ([outer_join] still pads the left ones). *)
-  let key_has_null k = List.exists Value.is_null k in
   let right_row = ref (right.next ()) in
   let right_group = ref [] (* current right key group, buffered *) in
-  let right_group_key = ref None in
+  (* Left row whose key the buffered group matches.  The group can be empty
+     (no right rows for that key), so the group key is remembered via a left
+     representative rather than a member. *)
+  let group_of = ref None in
   let pending = ref [] in
-  let advance_right_group key =
-    (* Load into [right_group] all right rows with key = [key]; assumes the
-       right cursor is positioned at the first row with key >= [key]. *)
+  let advance_right_group l =
+    (* Load into [right_group] all right rows with l's key; assumes the
+       right cursor is positioned at the first row with key >= l's. *)
     right_group := [];
-    right_group_key := Some key;
+    group_of := Some l;
     let rec loop () =
       match !right_row with
-      | Some r when compare_keys (key_of right_key r) key = 0 ->
+      | Some r when cmp_lr l r = 0 ->
           right_group := r :: !right_group;
           right_row := right.next ();
           loop ()
@@ -217,13 +261,11 @@ let merge_join ?(outer_join = false)
     loop ();
     right_group := List.rev !right_group
   in
-  let rec skip_right_until key =
+  let rec skip_right_until l =
     match !right_row with
-    | Some r
-      when key_has_null (key_of right_key r)
-           || compare_keys (key_of right_key r) key < 0 ->
+    | Some r when key_has_null rk r || cmp_lr l r > 0 ->
         right_row := right.next ();
-        skip_right_until key
+        skip_right_until l
     | _ -> ()
   in
   let rec next () =
@@ -235,20 +277,18 @@ let merge_join ?(outer_join = false)
         match left.next () with
         | None -> None
         | Some l ->
-            let lk = key_of left_key l in
-            if key_has_null lk then
+            if key_has_null lk l then
               if outer_join then Some (Row.append l pad) else next ()
             else begin
-              (match !right_group_key with
-              | Some gk when compare_keys gk lk = 0 -> ()
+              (match !group_of with
+              | Some l0 when cmp_ll l0 l = 0 -> ()
               | _ ->
-                  skip_right_until lk;
+                  skip_right_until l;
                   (match !right_row with
-                  | Some r when compare_keys (key_of right_key r) lk = 0 ->
-                      advance_right_group lk
+                  | Some r when cmp_lr l r = 0 -> advance_right_group l
                   | _ ->
                       right_group := [];
-                      right_group_key := Some lk));
+                      group_of := Some l));
               let matches =
                 List.filter_map
                   (fun r ->
@@ -281,19 +321,29 @@ let hash_join ?(outer_join = false)
   let residual_ok l r =
     match residual with None -> true | Some f -> Truth.to_bool (f l r)
   in
-  let table : (Value.t list, Row.t list) Hashtbl.t = Hashtbl.create 64 in
-  let key_of idxs r = List.map (Row.get r) idxs in
+  let lk = Array.of_list left_key and rk = Array.of_list right_key in
+  (* Keys are value arrays; the table's generic hash/equality are
+     structural, which agrees with [Value.compare] on same-typed columns
+     (NULL keys never reach the table). *)
+  let table : (Row.t, Row.t list) Hashtbl.t = Hashtbl.create 64 in
+  let key_null idxs r =
+    Array.exists (fun i -> Value.is_null (Row.get r i)) idxs
+  in
   let rec build () =
     match right.next () with
     | None -> ()
     | Some r ->
-        let k = key_of right_key r in
-        if not (List.exists Value.is_null k) then
+        if not (key_null rk r) then begin
+          let k = Row.project_positions r rk in
           Hashtbl.replace table k
-            (r :: Option.value (Hashtbl.find_opt table k) ~default:[]);
+            (r :: Option.value (Hashtbl.find_opt table k) ~default:[])
+        end;
         build ()
   in
   build ();
+  (* Probe with one reused scratch key buffer: a single allocation for the
+     whole probe side instead of one key list per left row. *)
+  let probe_key = Array.make (Array.length lk) Value.Null in
   let pending = ref [] in
   let rec next () =
     match !pending with
@@ -304,15 +354,17 @@ let hash_join ?(outer_join = false)
         match left.next () with
         | None -> None
         | Some l -> (
-            let k = key_of left_key l in
             let matches =
-              if List.exists Value.is_null k then []
-              else
+              if key_null lk l then []
+              else begin
+                Array.iteri (fun i li -> probe_key.(i) <- Row.get l li) lk;
                 List.filter_map
                   (fun r ->
                     if residual_ok l r then Some (Row.append l r) else None)
                   (List.rev
-                     (Option.value (Hashtbl.find_opt table k) ~default:[]))
+                     (Option.value (Hashtbl.find_opt table probe_key)
+                        ~default:[]))
+              end
             in
             match matches with
             | [] -> if outer_join then Some (Row.append l pad) else next ()
@@ -337,7 +389,8 @@ type agg_spec = {
    global-aggregate behaviour. *)
 let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
     =
-  let key_of r = List.map (Row.get r) group_key in
+  let gk = Array.of_list group_key in
+  let key_of r = Row.project_positions r gk in
   let finish key members =
     let members = List.rev members in
     let agg_value spec =
@@ -348,7 +401,7 @@ let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
       in
       Eval.aggregate_values spec.fn column
     in
-    Row.of_list (key @ List.map agg_value aggs)
+    Row.append key (Row.of_list (List.map agg_value aggs))
   in
   let current = ref None (* (key, members so far) *) in
   let done_ = ref false in
@@ -364,7 +417,7 @@ let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
               current := Some (k, [ r ]);
               next ()
           | Some (k', members) ->
-              if List.equal Value.equal k k' then begin
+              if Row.equal k k' then begin
                 current := Some (k', r :: members);
                 next ()
               end
@@ -379,8 +432,133 @@ let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
           | None ->
               if group_key = [] && not !emitted_global then begin
                 emitted_global := true;
-                Some (finish [] [])
+                Some (finish [||] [])
               end
               else None)
+  in
+  { schema; next }
+
+(* ------------------------------------------------------------------ *)
+(* Hash aggregation (beyond the paper)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Incremental per-group accumulators, mirroring [Eval.aggregate_values]:
+   COUNT(col) ignores NULLs (COUNT-star does not); MAX/MIN/SUM/AVG ignore
+   NULLs and yield NULL on empty/all-NULL input. *)
+type agg_state =
+  | S_count of { mutable n : int; star : bool }
+  | S_max of { mutable v : Value.t }
+  | S_min of { mutable v : Value.t }
+  | S_sum of { mutable v : Value.t }
+  | S_avg of { mutable total : float; mutable n : int }
+
+let fresh_state (spec : agg_spec) =
+  match spec.fn with
+  | Sql.Ast.Count_star -> S_count { n = 0; star = true }
+  | Sql.Ast.Count _ -> S_count { n = 0; star = false }
+  | Sql.Ast.Max _ -> S_max { v = Value.Null }
+  | Sql.Ast.Min _ -> S_min { v = Value.Null }
+  | Sql.Ast.Sum _ -> S_sum { v = Value.Null }
+  | Sql.Ast.Avg _ -> S_avg { total = 0.; n = 0 }
+
+let update_state st (v : Value.t) =
+  match st with
+  | S_count c -> if c.star || not (Value.is_null v) then c.n <- c.n + 1
+  | S_max m ->
+      if
+        (not (Value.is_null v))
+        && (Value.is_null m.v || Value.compare v m.v > 0)
+      then m.v <- v
+  | S_min m ->
+      if
+        (not (Value.is_null v))
+        && (Value.is_null m.v || Value.compare v m.v < 0)
+      then m.v <- v
+  | S_sum s ->
+      if not (Value.is_null v) then
+        s.v <- (if Value.is_null s.v then v else Value.add s.v v)
+  | S_avg a ->
+      if not (Value.is_null v) then (
+        match Value.to_float v with
+        | Some f ->
+            a.total <- a.total +. f;
+            a.n <- a.n + 1
+        | None -> invalid_arg "AVG over non-numeric value")
+
+let finish_state = function
+  | S_count c -> Value.Int c.n
+  | S_max m -> m.v
+  | S_min m -> m.v
+  | S_sum s -> s.v
+  | S_avg a ->
+      if a.n = 0 then Value.Null
+      else Value.Float (a.total /. float_of_int a.n)
+
+(* Hash-based grouped aggregation: one pass over unsorted input, holding one
+   accumulator row per group in memory — no external sort, no page I/O.
+   Output order is group first-occurrence order.  Same contract as
+   {!group_agg_sorted} otherwise, including the one-row global aggregate for
+   an empty [group_key]. *)
+let hash_group_agg ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t =
+  let gk = Array.of_list group_key in
+  let agg_arr = Array.of_list aggs in
+  let groups : (Row.t, agg_state array) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] (* group keys, most recent first *) in
+  let probe = Array.make (Array.length gk) Value.Null in
+  let drain () =
+    let rec loop () =
+      match input.next () with
+      | None -> ()
+      | Some r ->
+          Array.iteri (fun i gi -> probe.(i) <- Row.get r gi) gk;
+          let states =
+            match Hashtbl.find_opt groups probe with
+            | Some st -> st
+            | None ->
+                let key = Array.copy probe in
+                let st = Array.map fresh_state agg_arr in
+                Hashtbl.add groups key st;
+                order := key :: !order;
+                st
+          in
+          Array.iteri
+            (fun i spec ->
+              let v =
+                match spec.arg with
+                | None -> Value.Int 1
+                | Some c -> Row.get r c
+              in
+              update_state states.(i) v)
+            agg_arr;
+          loop ()
+    in
+    loop ()
+  in
+  let out = ref None in
+  let rec next () =
+    match !out with
+    | Some remaining -> (
+        match !remaining with
+        | [] -> None
+        | r :: rest ->
+            remaining := rest;
+            Some r)
+    | None ->
+        drain ();
+        let rows =
+          List.rev_map
+            (fun key ->
+              let states = Hashtbl.find groups key in
+              Row.append key (Array.map finish_state states))
+            !order
+        in
+        let rows =
+          if rows = [] && group_key = [] then
+            [ Row.of_list
+                (List.map (fun spec -> finish_state (fresh_state spec)) aggs) ]
+          else rows
+        in
+        out := Some (ref rows);
+        next ()
   in
   { schema; next }

@@ -34,6 +34,10 @@ val sort :
 (** Full-row duplicate elimination (sort-based). *)
 val distinct : Storage.Pager.t -> t -> t
 
+(** Beyond the paper: duplicate elimination via an in-memory hash table —
+    one pass, no sort, no page I/O.  Emits rows in first-occurrence order. *)
+val hash_distinct : t -> t
+
 (** Tuple nested loops: the stored right side is re-scanned once per left
     row (cheap iff it fits in the pool).  [outer_join] pads unmatched left
     rows with NULLs — the operation §5.2 of the paper requires. *)
@@ -90,4 +94,12 @@ type agg_spec = {
     per group (key values, then one value per spec).  With an empty
     [group_key], exactly one row even on empty input (global aggregate). *)
 val group_agg_sorted :
+  group_key:int list -> aggs:agg_spec list -> schema:Relalg.Schema.t -> t -> t
+
+(** Beyond the paper: hash aggregation over unsorted input — one pass,
+    incremental per-group accumulators, no external sort.  Output order is
+    group first-occurrence order; otherwise the same contract as
+    {!group_agg_sorted}, including the single global-aggregate row for an
+    empty [group_key]. *)
+val hash_group_agg :
   group_key:int list -> aggs:agg_spec list -> schema:Relalg.Schema.t -> t -> t

@@ -27,6 +27,7 @@ type node =
   | Filter of predicate list * node (* Cmp with Col/Lit operands only *)
   | Project of col_ref list * node
   | Distinct of node
+  | Hash_distinct of node (* beyond the paper: no sort, no page I/O *)
   | Sort of col_ref list * node
   | Join of {
       method_ : join_method;
@@ -36,7 +37,10 @@ type node =
       left : node;
       right : node;
     }
-  | Group_agg of { group_by : col_ref list; aggs : agg_item list; input : node }
+  | Group_agg of group_agg
+  | Hash_group_agg of group_agg (* beyond the paper: unsorted input *)
+
+and group_agg = { group_by : col_ref list; aggs : agg_item list; input : node }
 
 exception Plan_error of string
 
@@ -66,10 +70,12 @@ let rec output_schema (catalog : Catalog.t) (node : node) : Schema.t =
   | Project (cols, input) ->
       let s = output_schema catalog input in
       Schema.project s (List.map (find_col s) cols)
-  | Distinct input | Sort (_, input) -> output_schema catalog input
+  | Distinct input | Hash_distinct input | Sort (_, input) ->
+      output_schema catalog input
   | Join { left; right; _ } ->
       Schema.append (output_schema catalog left) (output_schema catalog right)
-  | Group_agg { group_by; aggs; input } ->
+  | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
+    ->
       let s = output_schema catalog input in
       let group_cols =
         List.map (fun c -> Schema.column s (find_col s c)) group_by
@@ -128,6 +134,7 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
       let it = execute catalog input in
       Iterator.project ~idxs:(List.map (find_col it.schema) cols) it
   | Distinct input -> Iterator.distinct pager (execute catalog input)
+  | Hash_distinct input -> Iterator.hash_distinct (execute catalog input)
   | Sort (cols, input) ->
       let it = execute catalog input in
       Iterator.sort pager ~key:(List.map (find_col it.schema) cols) it
@@ -264,7 +271,8 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
               rit
           in
           { it with schema = joined_schema })
-  | Group_agg { group_by; aggs; input } ->
+  | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
+    ->
       let it = execute catalog input in
       let group_key = List.map (find_col it.schema) group_by in
       let agg_specs =
@@ -277,7 +285,12 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
           aggs
       in
       let schema = output_schema catalog node in
-      Iterator.group_agg_sorted ~group_key ~aggs:agg_specs ~schema it
+      let agg_op =
+        match node with
+        | Hash_group_agg _ -> Iterator.hash_group_agg
+        | _ -> Iterator.group_agg_sorted
+      in
+      agg_op ~group_key ~aggs:agg_specs ~schema it
 
 let run catalog node : Relalg.Relation.t =
   Iterator.to_relation (execute catalog node)
@@ -316,6 +329,9 @@ let rec pp ?(indent = 0) ppf node =
   | Distinct input ->
       Fmt.pf ppf "%sDistinct@." pad;
       pp ~indent:child ppf input
+  | Hash_distinct input ->
+      Fmt.pf ppf "%sHashDistinct@." pad;
+      pp ~indent:child ppf input
   | Sort (cols, input) ->
       Fmt.pf ppf "%sSort by %a@." pad
         Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
@@ -339,8 +355,12 @@ let rec pp ?(indent = 0) ppf node =
         ();
       pp ~indent:child ppf left;
       pp ~indent:child ppf right
-  | Group_agg { group_by; aggs; input } ->
-      Fmt.pf ppf "%sGroupAgg by [%a] computing [%a]@." pad
+  | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
+    ->
+      let label =
+        match node with Hash_group_agg _ -> "HashGroupAgg" | _ -> "GroupAgg"
+      in
+      Fmt.pf ppf "%s%s by [%a] computing [%a]@." pad label
         Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
         group_by
         Fmt.(

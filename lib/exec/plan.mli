@@ -17,6 +17,8 @@ type node =
       (** conjunction; [Cmp] with Col/Lit operands only *)
   | Project of Sql.Ast.col_ref list * node
   | Distinct of node
+  | Hash_distinct of node
+      (** beyond the paper: hash dedup, no sort, no page I/O *)
   | Sort of Sql.Ast.col_ref list * node
   | Join of {
       method_ : join_method;
@@ -26,11 +28,15 @@ type node =
       left : node;
       right : node;
     }
-  | Group_agg of {
-      group_by : Sql.Ast.col_ref list;
-      aggs : agg_item list;
-      input : node;
-    }
+  | Group_agg of group_agg
+  | Hash_group_agg of group_agg
+      (** beyond the paper: hash aggregation over unsorted input *)
+
+and group_agg = {
+  group_by : Sql.Ast.col_ref list;
+  aggs : agg_item list;
+  input : node;
+}
 
 exception Plan_error of string
 
@@ -39,7 +45,8 @@ val output_schema : Storage.Catalog.t -> node -> Relalg.Schema.t
 
 (** Execute to an iterator (page traffic through the catalog's pager).
     Sort-merge joins require plan-inserted [Sort]s (or born-sorted inputs);
-    [Group_agg] requires input sorted on [group_by].
+    [Group_agg] requires input sorted on [group_by] ([Hash_group_agg] does
+    not).
     @raise Plan_error on malformed plans. *)
 val execute : Storage.Catalog.t -> node -> Iterator.t
 

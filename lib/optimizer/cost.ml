@@ -144,3 +144,50 @@ let ja2_strategies ?(rounding = Exact) p =
     { temp_method = "merge"; final_method = "merge";
       cost = projection +. temp_merge +. final_merge };
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Beyond the paper: blended I/O + CPU costing                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's model counts page I/O only, which cannot distinguish a hash
+   operator from a nested loop whose inner fits in the pool (both touch each
+   page once).  The hybrid planner therefore charges a small CPU term per
+   tuple operation, expressed in page-I/O equivalents, on top of the page
+   traffic.  The weight only has to separate O(n) hash paths from O(n·m)
+   loops and O(n log n) sorts; its absolute value is uncritical. *)
+let cpu_tuple_weight = 1e-3
+
+let blended ~io ~tuples = io +. (cpu_tuple_weight *. tuples)
+
+let log2 x = log (Float.max 2. x) /. log 2.
+
+(* In-memory hash join: read both inputs once; build Nj entries, probe Ni. *)
+let hash_join_blended ~pi ~pj ~ni ~nj =
+  blended ~io:(pi +. pj) ~tuples:(ni +. nj)
+
+(* Sort-merge join: external sorts for whichever inputs need one, then a
+   merging scan; CPU is the comparison volume of the sorts plus the scan. *)
+let merge_join_blended ?rounding ~b ~sort_left ~sort_right ~pi ~pj ~ni ~nj ()
+    =
+  let io =
+    (if sort_left then sort_cost ?rounding ~b pi else 0.)
+    +. (if sort_right then sort_cost ?rounding ~b pj else 0.)
+    +. pi +. pj
+  in
+  let tuples =
+    (if sort_left then ni *. log2 ni else 0.)
+    +. (if sort_right then nj *. log2 nj else 0.)
+    +. ni +. nj
+  in
+  blended ~io ~tuples
+
+(* Tuple nested loops: page traffic as in the paper; CPU is the Ni·Nj
+   comparison volume that page counting never sees. *)
+let nl_join_blended ~io ~ni ~nj = blended ~io ~tuples:(ni *. nj)
+
+(* Hash aggregation / dedup: one scan, one table op per input tuple. *)
+let hash_agg_blended ~pi ~ni = blended ~io:pi ~tuples:ni
+
+(* Sort-based aggregation / dedup over an unsorted input. *)
+let sort_agg_blended ?rounding ~b ~pi ~ni () =
+  blended ~io:(sort_cost ?rounding ~b pi +. pi) ~tuples:(ni *. log2 ni)

@@ -79,3 +79,42 @@ type ja2_strategy = {
 
 (** The four §7.4 strategy combinations (temp × final join method). *)
 val ja2_strategies : ?rounding:rounding -> ja2_params -> ja2_strategy list
+
+(** {1 Beyond the paper: blended I/O + CPU costing}
+
+    Pure page counting cannot distinguish a hash operator from a nested
+    loop whose inner fits the pool; the hybrid planner charges
+    [cpu_tuple_weight] page-I/O equivalents per tuple operation on top of
+    page traffic.  All of these are additions over the paper's §4/§7
+    model, which remains untouched above. *)
+
+val cpu_tuple_weight : float
+
+(** [blended ~io ~tuples] = io + cpu_tuple_weight·tuples. *)
+val blended : io:float -> tuples:float -> float
+
+(** In-memory hash join: both inputs scanned once, Nj builds + Ni probes. *)
+val hash_join_blended : pi:float -> pj:float -> ni:float -> nj:float -> float
+
+(** Sort-merge join with optional external sorts and their n·log n CPU. *)
+val merge_join_blended :
+  ?rounding:rounding ->
+  b:int ->
+  sort_left:bool ->
+  sort_right:bool ->
+  pi:float ->
+  pj:float ->
+  ni:float ->
+  nj:float ->
+  unit ->
+  float
+
+(** Tuple nested loops: the paper's page traffic plus Ni·Nj comparisons. *)
+val nl_join_blended : io:float -> ni:float -> nj:float -> float
+
+(** Hash aggregation / dedup: one scan, one table operation per tuple. *)
+val hash_agg_blended : pi:float -> ni:float -> float
+
+(** Sort-based aggregation / dedup over an unsorted input. *)
+val sort_agg_blended :
+  ?rounding:rounding -> b:int -> pi:float -> ni:float -> unit -> float

@@ -25,6 +25,13 @@ let errf fmt = Fmt.kstr (fun s -> raise (Planning_error s)) fmt
 
 type join_choice = Auto | Force_nl | Force_merge | Force_hash
 
+(* [Paper1987] reproduces the paper: sort-based DISTINCT/GROUP BY, joins
+   costed on page I/O alone.  [Hybrid] additionally considers the
+   beyond-the-paper hash operators under the blended I/O+CPU model of
+   [Cost]; hash paths are only taken when their build state fits the
+   pool, so page-I/O accounting stays honest. *)
+type mode = Paper1987 | Hybrid
+
 (* ------------------------------------------------------------------ *)
 (* Cardinality / page estimation (Selinger-style defaults)             *)
 (* ------------------------------------------------------------------ *)
@@ -75,7 +82,9 @@ let pred_tables = function
   | Quant _ ->
       errf "nested predicate reached the planner (transform first)"
 
-let sort_cost ~b p = if p <= 1. then 0. else 2. *. p *. ceil (log p /. log (float_of_int (b - 1)))
+(* Planner estimates use Kim's ceilinged-log convention (whole merge
+   passes), matching the Figure-1 arithmetic. *)
+let sort_cost ~b p = Cost.sort_cost ~rounding:Ceil ~b p
 
 (* ------------------------------------------------------------------ *)
 (* Building one join step                                              *)
@@ -140,8 +149,9 @@ let orient_cond ~alias = function
       else errf "condition does not touch the joined table"
   | _ -> errf "join condition must compare two columns"
 
-let join_step catalog ~(force : join_choice) (left : state) (right_f : from_item)
-    (conds : predicate list) (filters : predicate list) : state =
+let join_step catalog ~(force : join_choice) ~(mode : mode) (left : state)
+    (right_f : from_item) (conds : predicate list) (filters : predicate list) :
+    state =
   let alias = from_alias right_f in
   let right = base_state catalog right_f filters in
   let outer_join = List.exists (function Cmp_outer _ -> true | _ -> false) conds in
@@ -228,11 +238,34 @@ let join_step catalog ~(force : join_choice) (left : state) (right_f : from_item
     | Force_merge when eq_conds <> [] -> `Merge
     | Force_merge | Force_nl | Force_hash -> `Nl
     | Auto -> (
-        let best_of_two = if merge_cost < nl_cost then `Merge else `Nl in
-        let best_cost = Float.min merge_cost nl_cost in
+        (* Paper1987 ranks on page I/O alone (the paper's model); Hybrid
+           re-costs every method under the blended I/O+CPU model and adds
+           the hash path when its build side fits the pool. *)
+        let nl_c, merge_c, hash_c =
+          match mode with
+          | Paper1987 -> (nl_cost, merge_cost, infinity)
+          | Hybrid ->
+              ( Cost.nl_join_blended ~io:nl_cost ~ni:left.est_rows
+                  ~nj:right.est_rows,
+                (if eq_conds = [] then infinity
+                 else
+                   Cost.merge_join_blended ~b ~sort_left:(not left_sorted)
+                     ~sort_right:(not right_sorted) ~pi:left.est_pages
+                     ~pj:right.est_pages ~ni:left.est_rows ~nj:right.est_rows
+                     ()),
+                if eq_conds = [] || right.est_pages > float_of_int (b - 1)
+                then infinity
+                else
+                  Cost.hash_join_blended ~pi:left.est_pages
+                    ~pj:right.est_pages ~ni:left.est_rows ~nj:right.est_rows )
+        in
+        let best_of_two = if merge_c < nl_c then `Merge else `Nl in
+        let best_cost = Float.min merge_c nl_c in
+        let best = if hash_c < best_cost then `Hash else best_of_two in
+        let best_cost = Float.min hash_c best_cost in
         match index_candidate with
         | Some (cond, c) when c < best_cost -> `Index cond
-        | _ -> best_of_two)
+        | _ -> best)
   in
   let use_merge = method_ = `Merge in
   let kind = if outer_join then Exec.Plan.Left_outer else Exec.Plan.Inner in
@@ -344,7 +377,8 @@ let join_step catalog ~(force : join_choice) (left : state) (right_f : from_item
 
 type lowered = { plan : Exec.Plan.node; out_sorted : int list option }
 
-let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
+let lower ?(force = Auto) ?(mode = Paper1987) (catalog : Catalog.t) (q : query)
+    : lowered =
   if q.from = [] then errf "query with empty FROM";
   if List.exists predicate_has_subquery q.where then
     errf "query still contains nested predicates (transform it first)";
@@ -387,7 +421,7 @@ let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
         let mine, others =
           connecting_conds conds ~left_tables:st.tables ~alias
         in
-        (join_step catalog ~force st f mine (filters_of alias), others))
+        (join_step catalog ~force ~mode st f mine (filters_of alias), others))
       (state0, join_conds) rest
   in
   (* Conditions never picked up (e.g. referencing one table twice through a
@@ -415,20 +449,39 @@ let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
           q.select
       in
       let sorted_ok = q.group_by <> [] && state.sorted = Some q.group_by in
-      let input =
-        if q.group_by = [] || sorted_ok then state.node
-        else Exec.Plan.Sort (q.group_by, state.node)
+      (* Hybrid mode: when the input has no useful order, hash aggregation
+         skips the external sort entirely — taken when the group table fits
+         the pool and the blended model agrees (it always does once a sort
+         would spill). *)
+      let b = Storage.Pager.buffer_pages (Catalog.pager catalog) in
+      let est_groups = Float.max 1. (state.est_rows /. 3.) in
+      let use_hash =
+        mode = Hybrid && q.group_by <> [] && (not sorted_ok)
+        && est_pages_of_rows catalog ~rows:est_groups state.schema
+           <= float_of_int (b - 1)
+        && Cost.hash_agg_blended ~pi:state.est_pages ~ni:state.est_rows
+           <= Cost.sort_agg_blended ~rounding:Cost.Ceil ~b ~pi:state.est_pages
+                ~ni:state.est_rows ()
       in
       let node =
-        Exec.Plan.Group_agg { group_by = q.group_by; aggs; input }
+        if use_hash then
+          Exec.Plan.Hash_group_agg
+            { group_by = q.group_by; aggs; input = state.node }
+        else
+          let input =
+            if q.group_by = [] || sorted_ok then state.node
+            else Exec.Plan.Sort (q.group_by, state.node)
+          in
+          Exec.Plan.Group_agg { group_by = q.group_by; aggs; input }
       in
       let schema = Exec.Plan.output_schema catalog node in
       {
         state with
         node;
         schema;
-        sorted = (if q.group_by = [] then None else Some q.group_by);
-        est_rows = Float.max 1. (state.est_rows /. 3.);
+        sorted =
+          (if q.group_by = [] || use_hash then None else Some q.group_by);
+        est_rows = est_groups;
         est_pages = est_pages_of_rows catalog ~rows:state.est_rows schema;
       }
     end
@@ -448,12 +501,29 @@ let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
       q.select
   in
   let node = Exec.Plan.Project (out_cols, state.node) in
-  let node = if q.distinct then Exec.Plan.Distinct node else node in
-  (* Output order: after DISTINCT the rows are fully sorted by all output
-     columns; otherwise the pre-projection order survives when its columns
-     are a prefix of the projection. *)
+  (* Hybrid mode: hash dedup when the distinct result fits the pool; it
+     keeps first-occurrence order instead of producing a sorted result. *)
+  let use_hash_distinct =
+    q.distinct && mode = Hybrid
+    &&
+    let b = Storage.Pager.buffer_pages (Catalog.pager catalog) in
+    let out_schema = Exec.Plan.output_schema catalog node in
+    est_pages_of_rows catalog ~rows:state.est_rows out_schema
+    <= float_of_int (b - 1)
+  in
+  let node =
+    if q.distinct then
+      if use_hash_distinct then Exec.Plan.Hash_distinct node
+      else Exec.Plan.Distinct node
+    else node
+  in
+  (* Output order: after a sort-based DISTINCT the rows are fully sorted by
+     all output columns; otherwise (including hash dedup, which preserves
+     input order) the pre-projection order survives when its columns are a
+     prefix of the projection. *)
   let out_sorted =
-    if q.distinct then Some (List.init (List.length out_cols) Fun.id)
+    if q.distinct && not use_hash_distinct then
+      Some (List.init (List.length out_cols) Fun.id)
     else
       match state.sorted with
       | None -> None
@@ -475,8 +545,9 @@ let lower ?(force = Auto) (catalog : Catalog.t) (q : query) : lowered =
 
 (* Materialize one temp definition and register it under its name with the
    program's column names. *)
-let materialize_temp ?(force = Auto) catalog ({ Program.name; def } : Program.temp) =
-  let { plan; out_sorted } = lower ~force catalog def in
+let materialize_temp ?(force = Auto) ?(mode = Paper1987) catalog
+    ({ Program.name; def } : Program.temp) =
+  let { plan; out_sorted } = lower ~force ~mode catalog def in
   let result = Exec.Plan.run catalog plan in
   let names = Program.output_column_names def in
   let cols = Schema.columns (Relation.schema result) in
@@ -494,26 +565,28 @@ let materialize_temp ?(force = Auto) catalog ({ Program.name; def } : Program.te
    Returns the result; created temps stay registered (callers can inspect
    them — the paper's tables show TEMP contents — and drop them with
    [drop_temps]). *)
-let run_program ?(force = Auto) catalog (p : Program.t) : Relation.t =
-  List.iter (materialize_temp ~force catalog) p.temps;
-  let { plan; _ } = lower ~force catalog p.main in
+let run_program ?(force = Auto) ?(mode = Paper1987) catalog (p : Program.t) :
+    Relation.t =
+  List.iter (materialize_temp ~force ~mode catalog) p.temps;
+  let { plan; _ } = lower ~force ~mode catalog p.main in
   Exec.Plan.run catalog plan
 
 let drop_temps catalog (p : Program.t) =
   List.iter (fun { Program.name; _ } -> Catalog.drop catalog name) p.temps
 
 (* EXPLAIN: the full pipeline as text. *)
-let explain ?(force = Auto) catalog (p : Program.t) : string =
+let explain ?(force = Auto) ?(mode = Paper1987) catalog (p : Program.t) :
+    string =
   let buf = Buffer.create 256 in
   let ppf = Fmt.with_buffer buf in
   List.iter
     (fun ({ Program.name; def } : Program.temp) ->
-      let { plan; _ } = lower ~force catalog def in
+      let { plan; _ } = lower ~force ~mode catalog def in
       Fmt.pf ppf "temp %s:@.%a@." name (Exec.Plan.pp ~indent:1) plan;
       (* materialize so later defs can resolve this temp *)
-      materialize_temp ~force catalog { Program.name; def })
+      materialize_temp ~force ~mode catalog { Program.name; def })
     p.temps;
-  let { plan; _ } = lower ~force catalog p.main in
+  let { plan; _ } = lower ~force ~mode catalog p.main in
   Fmt.pf ppf "main:@.%a" (Exec.Plan.pp ~indent:1) plan;
   Fmt.flush ppf ();
   drop_temps catalog p;

@@ -12,6 +12,13 @@ exception Planning_error of string
 type join_choice = Auto | Force_nl | Force_merge | Force_hash
 (** [Force_hash] selects the beyond-the-paper in-memory hash join. *)
 
+type mode = Paper1987 | Hybrid
+(** [Paper1987] (the default) reproduces the paper: sort-based
+    DISTINCT/GROUP BY, joins costed on page I/O alone.  [Hybrid] also
+    considers the hash operators ([Hash] join, [Hash_distinct],
+    [Hash_group_agg]) under the blended I/O+CPU cost model; hash paths
+    are only taken when their build state fits the buffer pool. *)
+
 type lowered = {
   plan : Exec.Plan.node;
   out_sorted : int list option;
@@ -20,22 +27,32 @@ type lowered = {
 
 (** Lower a canonical (subquery-free) query to a physical plan.
     @raise Planning_error on nested predicates or malformed shapes. *)
-val lower : ?force:join_choice -> Storage.Catalog.t -> Sql.Ast.query -> lowered
+val lower :
+  ?force:join_choice ->
+  ?mode:mode ->
+  Storage.Catalog.t ->
+  Sql.Ast.query ->
+  lowered
 
 (** Plan, execute and register one temp definition under its program name
     (column names from [Program.output_column_names], order metadata from
     the plan). *)
 val materialize_temp :
-  ?force:join_choice -> Storage.Catalog.t -> Program.temp -> unit
+  ?force:join_choice -> ?mode:mode -> Storage.Catalog.t -> Program.temp -> unit
 
 (** Run a whole program: temps in order, then the main query.  Temps stay
     registered (the paper's tables print their contents); remove them with
     {!drop_temps}. *)
 val run_program :
-  ?force:join_choice -> Storage.Catalog.t -> Program.t -> Relalg.Relation.t
+  ?force:join_choice ->
+  ?mode:mode ->
+  Storage.Catalog.t ->
+  Program.t ->
+  Relalg.Relation.t
 
 val drop_temps : Storage.Catalog.t -> Program.t -> unit
 
 (** Physical plans of the whole pipeline as text (materializes and then
     drops the temps so later definitions can be planned). *)
-val explain : ?force:join_choice -> Storage.Catalog.t -> Program.t -> string
+val explain :
+  ?force:join_choice -> ?mode:mode -> Storage.Catalog.t -> Program.t -> string

@@ -30,13 +30,15 @@ let sorted_rows t = List.sort Row.compare t.rows
 
 let distinct t =
   let sorted = sorted_rows t in
-  let rec dedup = function
-    | [] -> []
-    | [ x ] -> [ x ]
+  (* Tail-recursive: relations at benchmark scale overflow the stack with a
+     naive [x :: dedup rest] recursion. *)
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | [ x ] -> List.rev (x :: acc)
     | x :: (y :: _ as rest) ->
-        if Row.equal x y then dedup rest else x :: dedup rest
+        if Row.equal x y then dedup acc rest else dedup (x :: acc) rest
   in
-  { t with rows = dedup sorted }
+  { t with rows = dedup [] sorted }
 
 let equal_bag a b =
   Schema.compatible a.schema b.schema

@@ -11,6 +11,11 @@ let append (a : t) (b : t) : t = Array.append a b
 
 let project (t : t) idxs : t = Array.of_list (List.map (fun i -> t.(i)) idxs)
 
+(* Array-of-positions variant for hot paths: one array read per column, no
+   list allocation per row. *)
+let project_positions (t : t) (idxs : int array) : t =
+  Array.map (fun i -> t.(i)) idxs
+
 let nulls n : t = Array.make n Value.Null
 
 (* Lexicographic total order on the listed key positions (Value.compare,

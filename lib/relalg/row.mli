@@ -11,6 +11,10 @@ val append : t -> t -> t
 (** [project t idxs] keeps positions [idxs] in order. *)
 val project : t -> int list -> t
 
+(** [project] with a precomputed position array — the executor's hot path
+    (no per-row list traversal). *)
+val project_positions : t -> int array -> t
+
 (** A row of [n] NULLs (outer-join padding). *)
 val nulls : int -> t
 

@@ -16,6 +16,7 @@ type t = {
   rows_per_page : int;
   mutable tuples : int;
   mutable tail : Row.t list; (* unflushed rows of the last partial page *)
+  mutable tail_len : int; (* length of [tail]; appends must stay O(1) *)
 }
 
 let rows_per_page pager schema =
@@ -29,6 +30,7 @@ let create pager schema =
     rows_per_page = rows_per_page pager schema;
     tuples = 0;
     tail = [];
+    tail_len = 0;
   }
 
 let schema t = t.schema
@@ -40,14 +42,16 @@ let flush t =
   | [] -> ()
   | rows ->
       Pager.append_page t.pager t.file (Array.of_list (List.rev rows));
-      t.tail <- []
+      t.tail <- [];
+      t.tail_len <- 0
 
 let append t row =
   if Row.arity row <> Schema.arity t.schema then
     invalid_arg "Heap_file.append: row arity mismatch";
   t.tail <- row :: t.tail;
+  t.tail_len <- t.tail_len + 1;
   t.tuples <- t.tuples + 1;
-  if List.length t.tail >= t.rows_per_page then flush t
+  if t.tail_len >= t.rows_per_page then flush t
 
 let page_count t =
   Pager.page_count t.pager t.file + if t.tail = [] then 0 else 1
@@ -89,4 +93,5 @@ let to_relation t =
 
 let delete t =
   t.tail <- [];
+  t.tail_len <- 0;
   Pager.delete_file t.pager t.file

@@ -7,7 +7,15 @@
    logical page requests from physical reads (pool misses) and physical
    writes.  All operators perform their page traffic through a [Pager.t], so
    the benches can report measured I/O next to the paper's analytic
-   formulas. *)
+   formulas.
+
+   The recency structure is a hashtable of frames threaded on an intrusive
+   doubly-linked list (most recently used at the head), so a page touch —
+   hit, miss or insertion — costs O(1) regardless of the pool size.  This
+   matters for the measured experiments: with the earlier list-based LRU a
+   page touch cost O(B), so enlarging the buffer pool made every *logical*
+   read slower and wall-clock measurements conflated plan structure with
+   bookkeeping overhead. *)
 
 module Row = Relalg.Row
 
@@ -23,15 +31,26 @@ type stats = {
   mutable physical_writes : int;
 }
 
+(* A buffer frame, intrusively linked in recency order.  [prev] is toward
+   the MRU end, [next] toward the LRU end. *)
+type frame = {
+  f_key : key;
+  f_page : page;
+  mutable prev : frame option;
+  mutable next : frame option;
+}
+
 type t = {
   buffer_pages : int;
   page_bytes : int;
   disk : (key, page) Hashtbl.t;
-  frames : (key, page) Hashtbl.t;
-  mutable lru : key list; (* most recently used first; length <= buffer_pages *)
+  frames : (key, frame) Hashtbl.t;
+  mutable mru : frame option; (* most recently used *)
+  mutable lru_end : frame option; (* least recently used *)
+  mutable n_frames : int;
   stats : stats;
   mutable next_file : file_id;
-  mutable file_pages : (file_id * int ref) list;
+  file_pages : (file_id, int ref) Hashtbl.t;
 }
 
 let create ?(buffer_pages = 8) ?(page_bytes = 4096) () =
@@ -40,16 +59,19 @@ let create ?(buffer_pages = 8) ?(page_bytes = 4096) () =
     buffer_pages;
     page_bytes;
     disk = Hashtbl.create 256;
-    frames = Hashtbl.create 16;
-    lru = [];
+    frames = Hashtbl.create (2 * buffer_pages);
+    mru = None;
+    lru_end = None;
+    n_frames = 0;
     stats = { logical_reads = 0; physical_reads = 0; physical_writes = 0 };
     next_file = 0;
-    file_pages = [];
+    file_pages = Hashtbl.create 16;
   }
 
 let buffer_pages t = t.buffer_pages
 let page_bytes t = t.page_bytes
 let stats t = t.stats
+let resident_pages t = t.n_frames
 
 let reset_stats t =
   t.stats.logical_reads <- 0;
@@ -85,41 +107,68 @@ let without_accounting t f =
 let create_file t =
   let id = t.next_file in
   t.next_file <- id + 1;
-  t.file_pages <- (id, ref 0) :: t.file_pages;
+  Hashtbl.replace t.file_pages id (ref 0);
   id
 
 let page_count t file =
-  match List.assoc_opt file t.file_pages with
+  match Hashtbl.find_opt t.file_pages file with
   | Some r -> !r
   | None -> invalid_arg "Pager.page_count: unknown file"
 
-let touch t key =
-  t.lru <- key :: List.filter (fun k -> k <> key) t.lru
+(* ---- intrusive recency list ---------------------------------------- *)
 
-(* Evict least-recently-used frames beyond capacity; the write-through
-   policy means eviction never incurs I/O (no dirty pages). *)
+let unlink t fr =
+  (match fr.prev with
+  | Some p -> p.next <- fr.next
+  | None -> t.mru <- fr.next);
+  (match fr.next with
+  | Some n -> n.prev <- fr.prev
+  | None -> t.lru_end <- fr.prev);
+  fr.prev <- None;
+  fr.next <- None
+
+let push_front t fr =
+  fr.prev <- None;
+  fr.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some fr | None -> t.lru_end <- Some fr);
+  t.mru <- Some fr
+
+let evict_beyond_capacity t =
+  while t.n_frames > t.buffer_pages do
+    match t.lru_end with
+    | None -> assert false (* n_frames > 0 implies a tail *)
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.frames victim.f_key;
+        t.n_frames <- t.n_frames - 1
+  done
+
+(* The write-through policy means eviction never incurs I/O (no dirty
+   pages). *)
 let insert_frame t key page =
-  Hashtbl.replace t.frames key page;
-  touch t key;
-  let rec split kept = function
-    | [] -> ([], [])
-    | k :: rest ->
-        if kept < t.buffer_pages then
-          let keep, evict = split (kept + 1) rest in
-          (k :: keep, evict)
-        else ([], k :: rest)
-  in
-  let keep, evict = split 0 t.lru in
-  List.iter (fun k -> Hashtbl.remove t.frames k) evict;
-  t.lru <- keep
+  (match Hashtbl.find_opt t.frames key with
+  | Some old ->
+      unlink t old;
+      Hashtbl.remove t.frames key;
+      t.n_frames <- t.n_frames - 1
+  | None -> ());
+  let fr = { f_key = key; f_page = page; prev = None; next = None } in
+  Hashtbl.replace t.frames key fr;
+  push_front t fr;
+  t.n_frames <- t.n_frames + 1;
+  evict_beyond_capacity t
 
 let read_page t file i : page =
   let key = (file, i) in
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   match Hashtbl.find_opt t.frames key with
-  | Some page ->
-      touch t key;
-      page
+  | Some fr ->
+      (match t.mru with
+      | Some m when m == fr -> () (* already most recent *)
+      | _ ->
+          unlink t fr;
+          push_front t fr);
+      fr.f_page
   | None -> (
       match Hashtbl.find_opt t.disk key with
       | None -> invalid_arg "Pager.read_page: no such page"
@@ -130,7 +179,7 @@ let read_page t file i : page =
 
 let append_page t file (rows : Row.t array) =
   let counter =
-    match List.assoc_opt file t.file_pages with
+    match Hashtbl.find_opt t.file_pages file with
     | Some r -> r
     | None -> invalid_arg "Pager.append_page: unknown file"
   in
@@ -144,8 +193,13 @@ let append_page t file (rows : Row.t array) =
 let delete_file t file =
   let n = page_count t file in
   for i = 0 to n - 1 do
-    Hashtbl.remove t.disk (file, i);
-    Hashtbl.remove t.frames (file, i)
+    let key = (file, i) in
+    Hashtbl.remove t.disk key;
+    match Hashtbl.find_opt t.frames key with
+    | None -> ()
+    | Some fr ->
+        unlink t fr;
+        Hashtbl.remove t.frames key;
+        t.n_frames <- t.n_frames - 1
   done;
-  t.lru <- List.filter (fun (f, _) -> f <> file) t.lru;
-  t.file_pages <- List.remove_assoc file t.file_pages
+  Hashtbl.remove t.file_pages file

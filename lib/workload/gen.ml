@@ -47,6 +47,19 @@ let supply rng ~n ~key_range =
            Value.Date { year; month; day };
          ]))
 
+(* Relations for the physical-operator equivalence properties: a nullable,
+   duplicate-heavy join/group key K (small [key_range] forces many-to-many
+   groups; [null_pct] percent NULL keys exercise the never-join rule) and a
+   nullable payload V (NULL-skipping aggregate semantics). *)
+let keyed_relation rng ~rel ~n ~key_range ~null_pct =
+  let nullable_int lo hi =
+    if int_in rng 1 100 <= null_pct then Value.Null
+    else Value.Int (int_in rng lo hi)
+  in
+  Relation.of_values ~rel
+    [ ("K", Value.Tint); ("V", Value.Tint) ]
+    (List.init n (fun _ -> [ nullable_int 1 key_range; nullable_int 0 9 ]))
+
 let catalog_of ?(buffer_pages = 8) ?(page_bytes = 64) tables =
   let pager = Pager.create ~buffer_pages ~page_bytes () in
   let catalog = Catalog.create pager in

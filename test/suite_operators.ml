@@ -1,0 +1,274 @@
+(* Randomized equivalence properties for the physical operators: the three
+   join algorithms must agree with each other (inner and left-outer, NULL
+   keys, many-to-many duplicate keys), and the hash operators must agree
+   with their sort-based counterparts.  Inputs come from
+   [Workload.Gen.keyed_relation]; results are compared as bags. *)
+
+module Value = Relalg.Value
+module Row = Relalg.Row
+module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+module Iterator = Exec.Iterator
+module Pager = Storage.Pager
+module Heap_file = Storage.Heap_file
+module G = Workload.Gen
+
+let fresh_pager () = Pager.create ~buffer_pages:4 ~page_bytes:32 ()
+
+let bag it = List.sort Row.compare (Iterator.to_rows it)
+
+let check_bags name a b =
+  if a <> b then begin
+    Fmt.epr "@.%s mismatch:@.%a@.vs@.%a@." name
+      Fmt.(list ~sep:(any "; ") Row.pp)
+      a
+      Fmt.(list ~sep:(any "; ") Row.pp)
+      b;
+    false
+  end
+  else true
+
+(* Random left/right inputs sharing a key range, so keys collide across the
+   two sides (many-to-many) but some stay unmatched (outer-join padding). *)
+let join_inputs rng =
+  let key_range = G.int_in rng 1 5 in
+  let left =
+    G.keyed_relation rng ~rel:"L" ~n:(G.int_in rng 0 30) ~key_range
+      ~null_pct:15
+  in
+  let right =
+    G.keyed_relation rng ~rel:"R" ~n:(G.int_in rng 0 30) ~key_range
+      ~null_pct:15
+  in
+  (left, right)
+
+(* The three joins on key column 0 (equality, SQL semantics: NULL keys never
+   join).  The stored right side and the sorts go through a tiny pool, so
+   external-sort spill paths run too. *)
+let trial_join ~outer seed =
+  let rng = Random.State.make [| seed |] in
+  let left, right = join_inputs rng in
+  let pager = fresh_pager () in
+  let theta l r = Exec.Eval.cmp_values Sql.Ast.Eq (Row.get l 0) (Row.get r 0) in
+  let nl =
+    let right_heap = Heap_file.of_relation pager right in
+    bag
+      (Iterator.nested_loop_join ~outer_join:outer ~theta
+         (Iterator.of_relation left) right_heap)
+  in
+  let merge =
+    let sorted rel =
+      Iterator.sort pager ~key:[ 0 ] (Iterator.of_relation rel)
+    in
+    bag
+      (Iterator.merge_join ~outer_join:outer ~left_key:[ 0 ] ~right_key:[ 0 ]
+         (sorted left) (sorted right))
+  in
+  let hash =
+    bag
+      (Iterator.hash_join ~outer_join:outer ~left_key:[ 0 ] ~right_key:[ 0 ]
+         (Iterator.of_relation left) (Iterator.of_relation right))
+  in
+  check_bags "merge vs nested-loop" merge nl && check_bags "hash vs merge" hash merge
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_joins_inner =
+  QCheck2.Test.make ~name:"nl = merge = hash (inner, NULL/dup keys)"
+    ~count:200 seed_gen (trial_join ~outer:false)
+
+let prop_joins_outer =
+  QCheck2.Test.make ~name:"nl = merge = hash (left-outer, NULL/dup keys)"
+    ~count:200 seed_gen (trial_join ~outer:true)
+
+(* Hash dedup vs sort-based DISTINCT: same set of rows (the sorted one is
+   already in order; the hash one preserves first-occurrence order). *)
+let trial_distinct seed =
+  let rng = Random.State.make [| seed |] in
+  let rel =
+    G.keyed_relation rng ~rel:"T" ~n:(G.int_in rng 0 60)
+      ~key_range:(G.int_in rng 1 4) ~null_pct:20
+  in
+  let sorted = bag (Iterator.distinct (fresh_pager ()) (Iterator.of_relation rel)) in
+  let hashed = bag (Iterator.hash_distinct (Iterator.of_relation rel)) in
+  check_bags "hash_distinct vs distinct" hashed sorted
+
+let prop_distinct =
+  QCheck2.Test.make ~name:"hash_distinct = sort-based distinct" ~count:200
+    seed_gen trial_distinct
+
+(* Hash aggregation vs sorted-stream aggregation, grouping by the nullable
+   K and aggregating the nullable V with every integer aggregate.  (AVG is
+   exercised separately: float summation order differs between a sorted and
+   an unsorted scan.) *)
+let agg_specs =
+  let v = { Sql.Ast.table = None; column = "V" } in
+  [
+    { Iterator.fn = Sql.Ast.Count_star; arg = None };
+    { Iterator.fn = Sql.Ast.Count v; arg = Some 1 };
+    { Iterator.fn = Sql.Ast.Sum v; arg = Some 1 };
+    { Iterator.fn = Sql.Ast.Max v; arg = Some 1 };
+    { Iterator.fn = Sql.Ast.Min v; arg = Some 1 };
+  ]
+
+let agg_schema ~with_key =
+  Schema.of_columns ~rel:"agg"
+    ((if with_key then [ ("K", Value.Tint) ] else [])
+    @ [
+        ("CNT_STAR", Value.Tint); ("CNT", Value.Tint); ("SUM", Value.Tint);
+        ("MAX", Value.Tint); ("MIN", Value.Tint);
+      ])
+
+let trial_group_agg seed =
+  let rng = Random.State.make [| seed |] in
+  let rel =
+    G.keyed_relation rng ~rel:"T" ~n:(G.int_in rng 0 60)
+      ~key_range:(G.int_in rng 1 4) ~null_pct:20
+  in
+  let grouped =
+    let schema = agg_schema ~with_key:true in
+    let sorted =
+      bag
+        (Iterator.group_agg_sorted ~group_key:[ 0 ] ~aggs:agg_specs ~schema
+           (Iterator.sort (fresh_pager ()) ~key:[ 0 ]
+              (Iterator.of_relation rel)))
+    in
+    let hashed =
+      bag
+        (Iterator.hash_group_agg ~group_key:[ 0 ] ~aggs:agg_specs ~schema
+           (Iterator.of_relation rel))
+    in
+    check_bags "hash_group_agg vs group_agg_sorted" hashed sorted
+  in
+  let global =
+    (* Empty group key: exactly one row either way, even on empty input. *)
+    let schema = agg_schema ~with_key:false in
+    let sorted =
+      bag
+        (Iterator.group_agg_sorted ~group_key:[] ~aggs:agg_specs ~schema
+           (Iterator.of_relation rel))
+    in
+    let hashed =
+      bag
+        (Iterator.hash_group_agg ~group_key:[] ~aggs:agg_specs ~schema
+           (Iterator.of_relation rel))
+    in
+    List.length hashed = 1 && check_bags "global hash_group_agg" hashed sorted
+  in
+  grouped && global
+
+let prop_group_agg =
+  QCheck2.Test.make ~name:"hash_group_agg = group_agg_sorted" ~count:200
+    seed_gen trial_group_agg
+
+(* ------------------------------------------------------------------ *)
+(* Planner modes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Catalog = Storage.Catalog
+module F = Workload.Fixtures
+open Optimizer
+
+(* Hybrid planning must never change results — only plans.  Same data and
+   query, one catalog per mode (temps would collide otherwise). *)
+let trial_modes seed =
+  let make_catalog () =
+    let rng = Random.State.make [| seed |] in
+    G.parts_supply_catalog rng
+      ~buffer_pages:64 (* ample pool: hash paths eligible *)
+      ~n_parts:(G.int_in rng 1 12)
+      ~n_supply:(G.int_in rng 0 25)
+      ~key_range:(G.int_in rng 1 8)
+  in
+  let query_of rng = G.ja_query rng in
+  let run mode =
+    let catalog = make_catalog () in
+    let rng = Random.State.make [| seed + 1 |] in
+    let q = F.parse_analyzed catalog (query_of rng) in
+    let program =
+      Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
+    in
+    Planner.run_program ~mode catalog program
+  in
+  Relation.equal_bag (run Planner.Paper1987) (run Planner.Hybrid)
+
+let prop_modes =
+  QCheck2.Test.make ~name:"hybrid mode = paper mode results (random JA)"
+    ~count:100 seed_gen trial_modes
+
+(* Directed checks that Hybrid actually switches operators when profitable
+   (and Paper1987 never does). *)
+let rec plan_has pred (n : Exec.Plan.node) =
+  pred n
+  ||
+  match n with
+  | Exec.Plan.Scan _ -> false
+  | Exec.Plan.Rename (_, i)
+  | Exec.Plan.Filter (_, i)
+  | Exec.Plan.Project (_, i)
+  | Exec.Plan.Distinct i
+  | Exec.Plan.Hash_distinct i
+  | Exec.Plan.Sort (_, i) ->
+      plan_has pred i
+  | Exec.Plan.Join { left; right; _ } ->
+      plan_has pred left || plan_has pred right
+  | Exec.Plan.Group_agg { input; _ } | Exec.Plan.Hash_group_agg { input; _ } ->
+      plan_has pred input
+
+let big_catalog () =
+  G.scaled_catalog ~buffer_pages:256 ~page_bytes:128 ~seed:3 ~n_parts:50
+    ~supply_per_part:8 ()
+
+let test_hybrid_picks_hash_agg () =
+  let catalog = big_catalog () in
+  let q =
+    F.parse_analyzed catalog
+      "SELECT PNUM, COUNT(QUAN) FROM SUPPLY GROUP BY PNUM"
+  in
+  let is_hash_agg = function Exec.Plan.Hash_group_agg _ -> true | _ -> false in
+  let hybrid = (Planner.lower ~mode:Planner.Hybrid catalog q).Planner.plan in
+  let paper = (Planner.lower catalog q).Planner.plan in
+  Alcotest.(check bool) "hybrid uses hash agg" true (plan_has is_hash_agg hybrid);
+  Alcotest.(check bool) "paper mode never does" false
+    (plan_has is_hash_agg paper);
+  Alcotest.(check bool) "same result" true
+    (Relation.equal_bag (Exec.Plan.run catalog hybrid)
+       (Exec.Plan.run catalog paper))
+
+let test_hybrid_picks_hash_distinct () =
+  let catalog = big_catalog () in
+  let q =
+    F.parse_analyzed catalog "SELECT DISTINCT PNUM FROM SUPPLY"
+  in
+  let is_hash_distinct = function
+    | Exec.Plan.Hash_distinct _ -> true
+    | _ -> false
+  in
+  let hybrid = (Planner.lower ~mode:Planner.Hybrid catalog q).Planner.plan in
+  let paper = (Planner.lower catalog q).Planner.plan in
+  Alcotest.(check bool) "hybrid uses hash distinct" true
+    (plan_has is_hash_distinct hybrid);
+  Alcotest.(check bool) "paper mode never does" false
+    (plan_has is_hash_distinct paper);
+  Alcotest.(check bool) "same result (as sets)" true
+    (Relation.equal_set (Exec.Plan.run catalog hybrid)
+       (Exec.Plan.run catalog paper))
+
+let suites =
+  [
+    ( "operators.equivalence",
+      [
+        QCheck_alcotest.to_alcotest prop_joins_inner;
+        QCheck_alcotest.to_alcotest prop_joins_outer;
+        QCheck_alcotest.to_alcotest prop_distinct;
+        QCheck_alcotest.to_alcotest prop_group_agg;
+      ] );
+    ( "operators.planner_modes",
+      [
+        QCheck_alcotest.to_alcotest prop_modes;
+        Alcotest.test_case "hybrid picks hash agg" `Quick
+          test_hybrid_picks_hash_agg;
+        Alcotest.test_case "hybrid picks hash distinct" `Quick
+          test_hybrid_picks_hash_distinct;
+      ] );
+  ]

@@ -636,9 +636,12 @@ let test_planner_join_method_choice () =
       | Exec.Plan.Filter (_, n)
       | Exec.Plan.Sort (_, n)
       | Exec.Plan.Distinct n
+      | Exec.Plan.Hash_distinct n
       | Exec.Plan.Rename (_, n) ->
           find n
-      | Exec.Plan.Group_agg { input; _ } -> find input
+      | Exec.Plan.Group_agg { input; _ } | Exec.Plan.Hash_group_agg { input; _ }
+        ->
+          find input
       | Exec.Plan.Scan _ -> None
     in
     find plan
@@ -668,9 +671,11 @@ let test_planner_uses_index () =
   let rec find = function
     | Exec.Plan.Join { method_; _ } -> Some method_
     | Exec.Plan.Project (_, n) | Exec.Plan.Filter (_, n)
-    | Exec.Plan.Sort (_, n) | Exec.Plan.Distinct n | Exec.Plan.Rename (_, n) ->
+    | Exec.Plan.Sort (_, n) | Exec.Plan.Distinct n
+    | Exec.Plan.Hash_distinct n | Exec.Plan.Rename (_, n) ->
         find n
-    | Exec.Plan.Group_agg { input; _ } -> find input
+    | Exec.Plan.Group_agg { input; _ } | Exec.Plan.Hash_group_agg { input; _ } ->
+        find input
     | Exec.Plan.Scan _ -> None
   in
   Alcotest.(check bool) "few probes into a big indexed table -> index join"
