@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json clean
+.PHONY: all check test bench bench-json doc clean
 
 all:
 	dune build
@@ -18,6 +18,10 @@ bench:
 # rows over the query grid plus the pager scaling microbench).
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# API docs (requires odoc; CI installs it).
+doc:
+	dune build @doc
 
 clean:
 	dune clean

@@ -809,6 +809,45 @@ let json_pager_scaling () =
         ("flatness_max_over_min", json_f flatness);
       ] )
 
+(* Per-operator breakdowns: one instrumented hybrid-mode run per query kind
+   (planner estimates via Optimizer.Estimate, actuals from the EXPLAIN
+   ANALYZE observer), at a fixed mid-grid scale.  Each segment's "plan" is
+   the Exec.Explain.render_json tree. *)
+let json_operator_breakdowns () =
+  let buffer_pages = 1024 and page_bytes = 256 in
+  let n_parts = 100 and supply_per_part = 25 in
+  List.map
+    (fun (kind, text) ->
+      let catalog =
+        G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
+          ~supply_per_part ()
+      in
+      let q = F.parse_analyzed catalog text in
+      let program =
+        Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
+      in
+      let segs =
+        Planner.explain_plans ~mode:Planner.Hybrid ~analyze:true catalog
+          program
+      in
+      json_obj
+        [
+          ("query", json_str kind);
+          ("n_parts", json_i n_parts);
+          ("supply_rows", json_i (n_parts * supply_per_part));
+          ( "segments",
+            json_arr
+              (List.map
+                 (fun (s : Planner.explained) ->
+                   json_obj
+                     [
+                       ("label", json_str s.Planner.seg_label);
+                       ("plan", s.Planner.seg_json);
+                     ])
+                 segs) );
+        ])
+    sweep_queries
+
 let json_bench () =
   let grid = json_grid () in
   let flatness, pager_json = json_pager_scaling () in
@@ -824,10 +863,12 @@ let json_bench () =
   let doc =
     json_obj
       [
-        ("schema_version", json_i 1);
+        (* v2: adds "operator_breakdowns"; all v1 keys unchanged *)
+        ("schema_version", json_i 2);
         ("queries", json_arr (List.map (fun (_, _, _, j) -> j) grid));
         ("pager_scaling", pager_json);
         ("hybrid_speedup_10k", json_obj speedups_10k);
+        ("operator_breakdowns", json_arr (json_operator_breakdowns ()));
       ]
   in
   let oc = open_out "BENCH_perf.json" in

@@ -4,11 +4,14 @@
      nestsql compare   [-d count-bug] "..."       both strategies + page I/O
      nestsql classify  "..."                      Kim's nesting class
      nestsql transform "..."                      print the canonical program
-     nestsql explain   "..."                      physical plans
+     nestsql explain   [--analyze] "..."          physical plans (+ runtime)
      nestsql tables    [-d kim]                   list tables of the fixture
 
    Databases: a built-in fixture (-d kim | count-bug | neq-bug | duplicates)
-   and/or CSV tables loaded with  -t NAME=path.csv  (header NAME:TYPE,...). *)
+   and/or CSV tables loaded with  -t NAME=path.csv  (header NAME:TYPE,...).
+
+   --trace (or NESTOPT_TRACE=1) emits one JSON line per operator event to
+   stderr during plan execution; schema in docs/EXPLAIN.md. *)
 
 module Catalog = Storage.Catalog
 module F = Workload.Fixtures
@@ -88,6 +91,26 @@ let trace =
   let doc = "Print the NEST-G transformation steps." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let exec_trace =
+  let doc =
+    "Emit one JSON line per operator event (open/batch/close) to stderr \
+     during plan execution.  NESTOPT_TRACE=1 has the same effect."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let analyze =
+  let doc =
+    "Also execute the plans and annotate each operator with actual rows, \
+     next calls, wall-clock time and page I/O."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+(* The operator-event sink: on with --trace or NESTOPT_TRACE=1. *)
+let trace_sink flag =
+  if flag || Sys.getenv_opt "NESTOPT_TRACE" = Some "1" then
+    Some (fun line -> Printf.eprintf "%s\n%!" line)
+  else None
+
 let die msg =
   Fmt.epr "error: %s@." msg;
   exit 1
@@ -96,7 +119,8 @@ let ok_or_die = function Ok v -> v | Error msg -> die msg
 
 (* ---------------- commands -------------------------------------------- *)
 
-let run_cmd load_dir fixture tables buffer_pages page_bytes strategy sql =
+let run_cmd load_dir fixture tables buffer_pages page_bytes strategy
+    exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy =
     match strategy with
@@ -105,7 +129,7 @@ let run_cmd load_dir fixture tables buffer_pages page_bytes strategy sql =
     | "transformed" -> Core.Transformed Optimizer.Planner.Auto
     | s -> die ("unknown strategy " ^ s)
   in
-  let e = ok_or_die (Core.run ~strategy db sql) in
+  let e = ok_or_die (Core.run ~strategy ?trace:(trace_sink exec_trace) db sql) in
   Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
 
 let compare_cmd load_dir fixture tables buffer_pages page_bytes sql =
@@ -139,9 +163,12 @@ let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
   let tree = ok_or_die (Core.query_tree db sql) in
   Fmt.pr "%a" Optimizer.Query_tree.pp tree
 
-let explain_cmd load_dir fixture tables buffer_pages page_bytes sql =
+let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze
+    exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
-  Fmt.pr "%s@." (ok_or_die (Core.explain db sql))
+  Fmt.pr "%s@."
+    (ok_or_die
+       (Core.explain_query ~analyze ?trace:(trace_sink exec_trace) db sql))
 
 let tables_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
@@ -158,7 +185,9 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy = ref Core.Auto in
   Fmt.pr
-    "nestsql %s — interactive shell.@.Enter SQL, or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \\compare SQL, \\strategy auto|nested|transformed, \\quit@.@."
+    "nestsql %s — interactive shell.@.Enter SQL or EXPLAIN [ANALYZE] SQL, \
+     or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \\compare \
+     SQL, \\strategy auto|nested|transformed, \\quit@.@."
     Core.version;
   let show_tables () =
     List.iter
@@ -182,6 +211,18 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   let after prefix s =
     strip (String.sub s (String.length prefix)
              (String.length s - String.length prefix))
+  in
+  (* [keyword "EXPLAIN" s] — case-insensitive leading word of [s] *)
+  let keyword word s =
+    let n = String.length word in
+    String.length s > n
+    && String.uppercase_ascii (String.sub s 0 n) = word
+    && s.[n] = ' '
+  in
+  let explain ~analyze sql =
+    match Core.explain_query ~analyze ?trace:(trace_sink false) db sql with
+    | Ok text -> Fmt.pr "%s@." text
+    | Error msg -> Fmt.pr "error: %s@." msg
   in
   let rec loop () =
     Fmt.pr "nestsql> %!";
@@ -216,9 +257,14 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
           loop ()
         end
         else if starts_with "\\explain" line then begin
-          (match Core.explain db (after "\\explain" line) with
-          | Ok text -> Fmt.pr "%s@." text
-          | Error msg -> Fmt.pr "error: %s@." msg);
+          explain ~analyze:false (after "\\explain" line);
+          loop ()
+        end
+        else if keyword "EXPLAIN" line then begin
+          let rest = after "EXPLAIN" line in
+          if keyword "ANALYZE" rest then
+            explain ~analyze:true (after "ANALYZE" rest)
+          else explain ~analyze:false rest;
           loop ()
         end
         else if starts_with "\\compare" line then begin
@@ -237,7 +283,8 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
           loop ()
         end
         else begin
-          handle_result (Core.run ~strategy:!strategy db line);
+          handle_result
+            (Core.run ~strategy:!strategy ?trace:(trace_sink false) db line);
           loop ()
         end)
   in
@@ -253,7 +300,7 @@ let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 let cmds =
   [
     cmd "run" "Run a query (auto strategy by default)."
-      Term.(common (const run_cmd) $ strategy $ sql);
+      Term.(common (const run_cmd) $ strategy $ exec_trace $ sql);
     cmd "compare" "Run both strategies; report results and page I/O."
       Term.(common (const compare_cmd) $ sql);
     cmd "classify" "Print Kim's nesting classification."
@@ -262,8 +309,9 @@ let cmds =
       Term.(common (const transform_cmd) $ trace $ sql);
     cmd "tree" "Print the query-block tree (the paper's Figure 2 view)."
       Term.(common (const tree_cmd) $ sql);
-    cmd "explain" "Print the physical plans for the transformed program."
-      Term.(common (const explain_cmd) $ sql);
+    cmd "explain"
+      "Print annotated physical plans; --analyze adds runtime metrics."
+      Term.(common (const explain_cmd) $ analyze $ exec_trace $ sql);
     cmd "tables" "List the tables of the selected database."
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."

@@ -77,11 +77,18 @@ type execution = {
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
-let run ?(strategy = Auto) db text : (execution, string) result =
+let run ?(strategy = Auto) ?trace db text : (execution, string) result =
   match parse db text with
   | Error _ as e -> e
   | Ok q -> (
       let pager = Catalog.pager db.catalog in
+      (* one instrumentation session for the whole pipeline; nested
+         iteration has no operator tree, so trace only covers plans *)
+      let observe =
+        Option.map
+          (fun t -> Exec.Explain.observer (Exec.Explain.session ~trace:t pager))
+          trace
+      in
       let run_nested () =
         let before = Pager.snapshot pager in
         let result = Exec.Sysr_iteration.run db.catalog q in
@@ -99,7 +106,7 @@ let run ?(strategy = Auto) db text : (execution, string) result =
         | Ok program ->
             let before = Pager.snapshot pager in
             let result =
-              Optimizer.Planner.run_program ~force db.catalog program
+              Optimizer.Planner.run_program ~force ?observe db.catalog program
             in
             let io = Pager.diff_since pager before in
             Optimizer.Planner.drop_temps db.catalog program;
@@ -118,13 +125,19 @@ let run ?(strategy = Auto) db text : (execution, string) result =
 let query db text : (Relation.t, string) result =
   Result.map (fun e -> e.result) (run db text)
 
-let explain db text : (string, string) result =
+let explain_query ?mode ?(analyze = false) ?trace db text :
+    (string, string) result =
   match transform db text with
   | Error _ as e -> e
   | Ok program -> (
-      match Optimizer.Planner.explain db.catalog program with
+      match
+        Optimizer.Planner.explain_text ?mode ~analyze ?trace db.catalog
+          program
+      with
       | text -> Ok text
       | exception Optimizer.Planner.Planning_error msg -> Error msg)
+
+let explain db text : (string, string) result = explain_query db text
 
 (* ------------------------------------------------------------------ *)
 (* Side-by-side comparison (the paper's experiment)                    *)

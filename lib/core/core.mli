@@ -67,12 +67,35 @@ type execution = {
   io : Pager.stats;  (** page traffic of this execution only *)
 }
 
-val run : ?strategy:strategy -> db -> string -> (execution, string) result
+(** Run a query.  [trace] turns on per-operator JSON event tracing for
+    plan-based executions (one line per operator open / next-batch /
+    close; see [docs/EXPLAIN.md]). *)
+val run :
+  ?strategy:strategy ->
+  ?trace:(string -> unit) ->
+  db ->
+  string ->
+  (execution, string) result
 
 (** [run] and keep only the rows. *)
 val query : db -> string -> (Relation.t, string) result
 
-(** Transformed program + physical plans, as text. *)
+(** EXPLAIN \[ANALYZE]: transformed program + physical plans as annotated
+    text (planner cost/cardinality estimates per operator).  With
+    [~analyze:true] the program is also executed, instrumented, and each
+    operator gains actual rows / [next] calls / wall-clock / page I/Os;
+    [trace] receives one JSON line per operator event
+    (see [docs/EXPLAIN.md]). *)
+val explain_query :
+  ?mode:Optimizer.Planner.mode ->
+  ?analyze:bool ->
+  ?trace:(string -> unit) ->
+  db ->
+  string ->
+  (string, string) result
+
+(** Transformed program + physical plans, as text — [explain_query] without
+    analysis. *)
 val explain : db -> string -> (string, string) result
 
 type comparison = {

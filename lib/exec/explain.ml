@@ -1,0 +1,169 @@
+(* EXPLAIN / EXPLAIN ANALYZE rendering and per-operator instrumentation.
+
+   Rendering is annotation-driven: the caller supplies lookup functions for
+   planner estimates and for runtime metrics, keyed by plan node (physical
+   identity — a plan's subterms are built once, so [==] identifies an
+   operator).  The estimate side lives in [Optimizer.Estimate]; the metrics
+   side is produced here by an observer threaded through [Plan.execute].
+
+   The observer also doubles as the trace emitter: with a sink installed it
+   writes one JSON line per operator open / next-batch / close, the offline
+   analogue of the rendered tree (schema in docs/EXPLAIN.md). *)
+
+module Pager = Storage.Pager
+
+type est = { est_rows : float; est_cost : float }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Cumulative counters grow monotonically, so flushing a batch line every
+   [trace_batch] next calls bounds trace volume at ~1/256 of row volume. *)
+let trace_batch = 256
+
+type session = {
+  pager : Pager.t;
+  trace : (string -> unit) option;
+  mutable entries : (Plan.node * Metrics.t) list; (* keyed by [==] *)
+  mutable fresh_id : int;
+}
+
+let session ?trace pager = { pager; trace; entries = []; fresh_id = 0 }
+
+let metrics s node =
+  List.find_map
+    (fun (n, m) -> if n == node then Some m else None)
+    s.entries
+
+let json_escape = Printf.sprintf "%S"
+
+let emit s line = match s.trace with Some out -> out line | None -> ()
+
+let observer (s : session) : Plan.observer =
+ fun node build ->
+  let m = Metrics.create () in
+  s.entries <- (node, m) :: s.entries;
+  let id = s.fresh_id in
+  s.fresh_id <- id + 1;
+  let before = Pager.snapshot s.pager in
+  let t0 = Unix.gettimeofday () in
+  let it = build () in
+  m.Metrics.build_s <- Unix.gettimeofday () -. t0;
+  Metrics.add_io m (Pager.diff_since s.pager before);
+  emit s
+    (Printf.sprintf "{\"ev\":\"open\",\"id\":%d,\"op\":%s,\"build_ms\":%.3f}"
+       id
+       (json_escape (Plan.label node))
+       (m.Metrics.build_s *. 1e3));
+  let closed = ref false in
+  let next () =
+    let before = Pager.snapshot s.pager in
+    let t0 = Unix.gettimeofday () in
+    let r = it.Iterator.next () in
+    m.Metrics.next_s <- m.Metrics.next_s +. (Unix.gettimeofday () -. t0);
+    Metrics.add_io m (Pager.diff_since s.pager before);
+    m.Metrics.next_calls <- m.Metrics.next_calls + 1;
+    (match r with
+    | Some _ ->
+        m.Metrics.rows <- m.Metrics.rows + 1;
+        if m.Metrics.next_calls mod trace_batch = 0 then
+          emit s
+            (Printf.sprintf
+               "{\"ev\":\"batch\",\"id\":%d,\"rows\":%d,\"next_calls\":%d}" id
+               m.Metrics.rows m.Metrics.next_calls)
+    | None ->
+        if not !closed then begin
+          closed := true;
+          emit s
+            (Printf.sprintf
+               "{\"ev\":\"close\",\"id\":%d,\"rows\":%d,\"next_calls\":%d,\"ms\":%.3f,\"logical_reads\":%d,\"physical_reads\":%d,\"physical_writes\":%d}"
+               id m.Metrics.rows m.Metrics.next_calls
+               (Metrics.total_s m *. 1e3)
+               m.Metrics.logical_reads m.Metrics.physical_reads
+               m.Metrics.physical_writes)
+        end);
+    r
+  in
+  { it with Iterator.next }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let no_est : Plan.node -> est option = fun _ -> None
+
+(* Metrics of the children that were instrumented (a nested-loop or index
+   join's base-table scan is driven by the join itself and has none). *)
+let child_metrics lookup node =
+  List.filter_map lookup (Plan.children node)
+
+let actual_suffix lookup node =
+  match lookup node with
+  | None -> "  (actual: -)"
+  | Some m ->
+      let l, pr, pw = Metrics.self_io m ~children:(child_metrics lookup node) in
+      Printf.sprintf "  (actual: rows=%d next=%d time=%.2fms io=%d/%d/%d"
+        m.Metrics.rows m.Metrics.next_calls
+        (Metrics.total_s m *. 1e3)
+        l pr pw
+      ^ ")"
+
+let est_suffix estimate node =
+  match estimate node with
+  | None -> ""
+  | Some e -> Printf.sprintf "  (cost=%.1f rows=%.0f)" e.est_cost e.est_rows
+
+let render ?(estimate = no_est) ?metrics ?(indent = 0) node =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf (Plan.label node);
+    Buffer.add_string buf (est_suffix estimate node);
+    (match metrics with
+    | None -> ()
+    | Some lookup -> Buffer.add_string buf (actual_suffix lookup node));
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) (Plan.children node)
+  in
+  go indent node;
+  Buffer.contents buf
+
+let render_json ?(estimate = no_est) ?metrics node =
+  let buf = Buffer.create 512 in
+  let rec go node =
+    Buffer.add_string buf "{\"op\":";
+    Buffer.add_string buf (json_escape (Plan.label node));
+    (match estimate node with
+    | None -> ()
+    | Some e ->
+        Buffer.add_string buf
+          (Printf.sprintf ",\"est_cost\":%.3f,\"est_rows\":%.1f" e.est_cost
+             e.est_rows));
+    (match metrics with
+    | None -> ()
+    | Some lookup -> (
+        match lookup node with
+        | None -> ()
+        | Some m ->
+            let l, pr, pw =
+              Metrics.self_io m ~children:(child_metrics lookup node)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 ",\"actual\":{\"rows\":%d,\"next_calls\":%d,\"build_ms\":%.3f,\"total_ms\":%.3f,\"logical_reads\":%d,\"physical_reads\":%d,\"physical_writes\":%d,\"self_logical_reads\":%d,\"self_physical_reads\":%d,\"self_physical_writes\":%d}"
+                 m.Metrics.rows m.Metrics.next_calls
+                 (m.Metrics.build_s *. 1e3)
+                 (Metrics.total_s m *. 1e3)
+                 m.Metrics.logical_reads m.Metrics.physical_reads
+                 m.Metrics.physical_writes l pr pw)));
+    Buffer.add_string buf ",\"children\":[";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char buf ',';
+        go c)
+      (Plan.children node);
+    Buffer.add_string buf "]}"
+  in
+  go node;
+  Buffer.contents buf

@@ -1,7 +1,13 @@
 (** Volcano-style physical operators over paged storage.
 
     Every operator is a pull iterator carrying its output schema; operators
-    touching stored relations count their page traffic through the pager. *)
+    touching stored relations count their page traffic through the pager,
+    which is what lets measured I/O be compared against the paper's §4/§7
+    cost formulas (and attributed per operator by {!Explain}).  The
+    operator set mirrors what the paper's plans need: scans, restrict /
+    project, the §5.2 left outer join, sort-based DISTINCT and GROUP BY —
+    plus beyond-the-paper hash variants used by the [Hybrid] planner
+    mode. *)
 
 type t = { schema : Relalg.Schema.t; next : unit -> Relalg.Row.t option }
 

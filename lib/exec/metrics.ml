@@ -1,0 +1,57 @@
+(* Per-operator runtime counters for EXPLAIN ANALYZE.
+
+   One record per physical operator, filled in by [Explain]'s observer while
+   the plan executes: output rows, [next] calls, wall-clock spent building
+   the operator (the eager work of sorts, materializations and hash builds)
+   and pulling rows from it, and the pager traffic both phases caused.
+
+   Time and page counters are *inclusive*: pulling a row from an operator
+   pulls rows from its children, so a parent's numbers contain its
+   children's.  Renderers subtract child totals to attribute I/O to the
+   operator that caused it ([self_io]); rows and [next] calls are per
+   operator by construction. *)
+
+type t = {
+  mutable rows : int; (* rows this operator produced *)
+  mutable next_calls : int;
+  mutable build_s : float; (* wall-clock building the iterator *)
+  mutable next_s : float; (* wall-clock inside next(), inclusive *)
+  mutable logical_reads : int; (* pager traffic, inclusive *)
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+}
+
+let create () =
+  {
+    rows = 0;
+    next_calls = 0;
+    build_s = 0.;
+    next_s = 0.;
+    logical_reads = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+  }
+
+let add_io m (s : Storage.Pager.stats) =
+  m.logical_reads <- m.logical_reads + s.Storage.Pager.logical_reads;
+  m.physical_reads <- m.physical_reads + s.Storage.Pager.physical_reads;
+  m.physical_writes <- m.physical_writes + s.Storage.Pager.physical_writes
+
+let total_s m = m.build_s +. m.next_s
+
+let total_io m = m.logical_reads + m.physical_reads + m.physical_writes
+
+(* I/O caused by this operator alone: inclusive counters minus the children's
+   inclusive counters.  Never negative, because a child's page traffic only
+   happens inside its parent's build or next phases. *)
+let self_io m ~children =
+  let sub field =
+    max 0 (field m - List.fold_left (fun acc c -> acc + field c) 0 children)
+  in
+  ( sub (fun m -> m.logical_reads),
+    sub (fun m -> m.physical_reads),
+    sub (fun m -> m.physical_writes) )
+
+let pp ppf m =
+  Fmt.pf ppf "rows=%d next=%d time=%.3fms io=%d/%d/%d" m.rows m.next_calls
+    (total_s m *. 1e3) m.logical_reads m.physical_reads m.physical_writes

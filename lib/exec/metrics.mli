@@ -1,0 +1,38 @@
+(** Per-operator runtime counters for [EXPLAIN ANALYZE].
+
+    One record per physical operator, filled in by {!Explain}'s observer
+    during execution.  Wall-clock and pager counters are {e inclusive} —
+    pulling a row from an operator pulls from its children too — while
+    [rows] and [next_calls] are per operator by construction.  Use
+    {!self_io} to attribute page traffic to the operator that caused it. *)
+
+type t = {
+  mutable rows : int;  (** rows this operator produced *)
+  mutable next_calls : int;  (** calls to the iterator's [next] *)
+  mutable build_s : float;
+      (** wall-clock seconds building the iterator (eager work: sorts,
+          materializations, hash builds) *)
+  mutable next_s : float;  (** wall-clock seconds inside [next], inclusive *)
+  mutable logical_reads : int;  (** pager page requests, inclusive *)
+  mutable physical_reads : int;  (** buffer-pool misses, inclusive *)
+  mutable physical_writes : int;  (** pages written, inclusive *)
+}
+
+(** A zeroed record. *)
+val create : unit -> t
+
+(** Accumulate a pager counter delta into the record. *)
+val add_io : t -> Storage.Pager.stats -> unit
+
+(** [build_s + next_s]. *)
+val total_s : t -> float
+
+(** Inclusive logical + physical reads + writes. *)
+val total_io : t -> int
+
+(** [(logical, physical_reads, physical_writes)] caused by this operator
+    alone: the inclusive counters minus the [children]'s inclusive counters,
+    clamped at 0. *)
+val self_io : t -> children:t list -> int * int * int
+
+val pp : t Fmt.t

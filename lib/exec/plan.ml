@@ -116,7 +116,20 @@ let compile_conjunction schema preds : Row.t -> Truth.t =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
+(* An observer intercepts the construction of every operator: it receives
+   the plan node and a thunk that builds its iterator (including the eager
+   work of sorts and hash builds), and returns the iterator to use — usually
+   the built one wrapped with instrumentation.  [Explain] uses this to
+   attach per-operator metrics and trace events without the executor knowing
+   about either. *)
+type observer = node -> (unit -> Iterator.t) -> Iterator.t
+
+let rec execute ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
+  match observe with
+  | None -> execute_node ?observe catalog node
+  | Some f -> f node (fun () -> execute_node ?observe catalog node)
+
+and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
   let pager = Catalog.pager catalog in
   match node with
   | Scan name ->
@@ -125,21 +138,21 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
          references [name.col] resolve. *)
       { it with schema = Schema.rename_rel it.schema name }
   | Rename (alias, input) ->
-      let it = execute catalog input in
+      let it = execute ?observe catalog input in
       { it with schema = Schema.rename_rel it.schema alias }
   | Filter (preds, input) ->
-      let it = execute catalog input in
+      let it = execute ?observe catalog input in
       Iterator.filter ~pred:(compile_conjunction it.schema preds) it
   | Project (cols, input) ->
-      let it = execute catalog input in
+      let it = execute ?observe catalog input in
       Iterator.project ~idxs:(List.map (find_col it.schema) cols) it
-  | Distinct input -> Iterator.distinct pager (execute catalog input)
-  | Hash_distinct input -> Iterator.hash_distinct (execute catalog input)
+  | Distinct input -> Iterator.distinct pager (execute ?observe catalog input)
+  | Hash_distinct input -> Iterator.hash_distinct (execute ?observe catalog input)
   | Sort (cols, input) ->
-      let it = execute catalog input in
+      let it = execute ?observe catalog input in
       Iterator.sort pager ~key:(List.map (find_col it.schema) cols) it
   | Join { method_; kind; cond; residual; left; right } -> (
-      let lit = execute catalog left in
+      let lit = execute ?observe catalog left in
       let outer_join = kind = Left_outer in
       match method_ with
       | Index_nl ->
@@ -186,7 +199,7 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
                 let heap = Catalog.heap catalog name in
                 (heap, Schema.rename_rel (Storage.Heap_file.schema heap) alias)
             | _ ->
-                let heap = Iterator.materialize pager (execute catalog right) in
+                let heap = Iterator.materialize pager (execute ?observe catalog right) in
                 (heap, Storage.Heap_file.schema heap)
           in
           let joined_schema = Schema.append lit.schema rschema in
@@ -209,7 +222,7 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
           in
           { it with schema = joined_schema }
       | Hash ->
-          let rit = execute catalog right in
+          let rit = execute ?observe catalog right in
           let eq_cond, rest = List.partition (fun (_, op, _) -> op = Eq) cond in
           if eq_cond = [] then
             errf "hash join requires at least one equality condition";
@@ -241,7 +254,7 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
           in
           { it with schema = joined_schema }
       | Sort_merge ->
-          let rit = execute catalog right in
+          let rit = execute ?observe catalog right in
           let eq_cond, rest =
             List.partition (fun (_, op, _) -> op = Eq) cond
           in
@@ -273,7 +286,7 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
           { it with schema = joined_schema })
   | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
     ->
-      let it = execute catalog input in
+      let it = execute ?observe catalog input in
       let group_key = List.map (find_col it.schema) group_by in
       let agg_specs =
         List.map
@@ -292,8 +305,8 @@ let rec execute (catalog : Catalog.t) (node : node) : Iterator.t =
       in
       agg_op ~group_key ~aggs:agg_specs ~schema it
 
-let run catalog node : Relalg.Relation.t =
-  Iterator.to_relation (execute catalog node)
+let run ?observe catalog node : Relalg.Relation.t =
+  Iterator.to_relation (execute ?observe catalog node)
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN                                                             *)
@@ -307,38 +320,24 @@ let join_method_name = function
 
 let join_kind_name = function Inner -> "inner" | Left_outer -> "left-outer"
 
-let rec pp ?(indent = 0) ppf node =
-  let pad = String.make (indent * 2) ' ' in
-  let child = indent + 1 in
+(* One-line operator description, without children — the unit EXPLAIN and
+   the [Explain] annotators build their renderings from. *)
+let label node =
   match node with
-  | Scan name -> Fmt.pf ppf "%sScan %s@." pad name
-  | Rename (alias, input) ->
-      Fmt.pf ppf "%sRename as %s@." pad alias;
-      pp ~indent:child ppf input
-  | Filter (preds, input) ->
-      Fmt.pf ppf "%sFilter %a@."
-        pad
+  | Scan name -> "Scan " ^ name
+  | Rename (alias, _) -> "Rename as " ^ alias
+  | Filter (preds, _) ->
+      Fmt.str "Filter %a"
         Fmt.(list ~sep:(any " AND ") Sql.Pp.pp_predicate)
-        preds;
-      pp ~indent:child ppf input
-  | Project (cols, input) ->
-      Fmt.pf ppf "%sProject %a@." pad
-        Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
-        cols;
-      pp ~indent:child ppf input
-  | Distinct input ->
-      Fmt.pf ppf "%sDistinct@." pad;
-      pp ~indent:child ppf input
-  | Hash_distinct input ->
-      Fmt.pf ppf "%sHashDistinct@." pad;
-      pp ~indent:child ppf input
-  | Sort (cols, input) ->
-      Fmt.pf ppf "%sSort by %a@." pad
-        Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
-        cols;
-      pp ~indent:child ppf input
-  | Join { method_; kind; cond; residual; left; right } ->
-      Fmt.pf ppf "%s%s %s join on %a%a@." pad
+        preds
+  | Project (cols, _) ->
+      Fmt.str "Project %a" Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col) cols
+  | Distinct _ -> "Distinct"
+  | Hash_distinct _ -> "HashDistinct"
+  | Sort (cols, _) ->
+      Fmt.str "Sort by %a" Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col) cols
+  | Join { method_; kind; cond; residual; _ } ->
+      Fmt.str "%s %s join on %a%a"
         (join_method_name method_)
         (join_kind_name kind)
         Fmt.(
@@ -352,21 +351,33 @@ let rec pp ?(indent = 0) ppf node =
             Fmt.pf ppf " residual %a"
               (list ~sep:(any " AND ") Sql.Pp.pp_predicate)
               residual)
-        ();
-      pp ~indent:child ppf left;
-      pp ~indent:child ppf right
-  | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
-    ->
-      let label =
+        ()
+  | Group_agg { group_by; aggs; _ } | Hash_group_agg { group_by; aggs; _ } ->
+      let name =
         match node with Hash_group_agg _ -> "HashGroupAgg" | _ -> "GroupAgg"
       in
-      Fmt.pf ppf "%s%s by [%a] computing [%a]@." pad label
+      Fmt.str "%s by [%a] computing [%a]" name
         Fmt.(list ~sep:(any ", ") Sql.Pp.pp_col)
         group_by
         Fmt.(
           list ~sep:(any ", ") (fun ppf { fn; out_name } ->
               Fmt.pf ppf "%a AS %s" Sql.Pp.pp_agg fn out_name))
-        aggs;
-      pp ~indent:child ppf input
+        aggs
+
+let children = function
+  | Scan _ -> []
+  | Rename (_, input)
+  | Filter (_, input)
+  | Project (_, input)
+  | Distinct input
+  | Hash_distinct input
+  | Sort (_, input) ->
+      [ input ]
+  | Join { left; right; _ } -> [ left; right ]
+  | Group_agg { input; _ } | Hash_group_agg { input; _ } -> [ input ]
+
+let rec pp ?(indent = 0) ppf node =
+  Fmt.pf ppf "%s%s@." (String.make (indent * 2) ' ') (label node);
+  List.iter (pp ~indent:(indent + 1) ppf) (children node)
 
 let to_string node = Fmt.str "%a" (pp ~indent:0) node

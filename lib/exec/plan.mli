@@ -43,17 +43,30 @@ exception Plan_error of string
 (** Schema the node produces.  @raise Plan_error / Catalog.Unknown_table *)
 val output_schema : Storage.Catalog.t -> node -> Relalg.Schema.t
 
+(** An observer intercepts every operator's construction: it receives the
+    plan node and a thunk building its iterator (including eager work —
+    sorts, materializations, hash builds) and returns the iterator to use,
+    usually the built one wrapped with instrumentation.  {!Explain} supplies
+    one to collect per-operator {!Metrics} without the executor knowing. *)
+type observer = node -> (unit -> Iterator.t) -> Iterator.t
+
 (** Execute to an iterator (page traffic through the catalog's pager).
     Sort-merge joins require plan-inserted [Sort]s (or born-sorted inputs);
     [Group_agg] requires input sorted on [group_by] ([Hash_group_agg] does
-    not).
+    not).  [observe] wraps every operator as it is built.
     @raise Plan_error on malformed plans. *)
-val execute : Storage.Catalog.t -> node -> Iterator.t
+val execute : ?observe:observer -> Storage.Catalog.t -> node -> Iterator.t
 
 (** [execute] and collect the rows. *)
-val run : Storage.Catalog.t -> node -> Relalg.Relation.t
+val run : ?observe:observer -> Storage.Catalog.t -> node -> Relalg.Relation.t
 
-(** Indented EXPLAIN rendering. *)
+(** One-line operator description, without children. *)
+val label : node -> string
+
+(** Immediate sub-plans, in display order ([Join]: left then right). *)
+val children : node -> node list
+
+(** Indented EXPLAIN rendering: one {!label} line per operator. *)
 val pp : ?indent:int -> Format.formatter -> node -> unit
 
 val to_string : node -> string

@@ -4,7 +4,11 @@
     selectivity on Ri, B buffer pages; sorting costs 2·P·log_{B-1}(P).
     [rounding] selects the log convention: Kim's Figure-1 arithmetic uses
     ceilinged logs ([Ceil]), the paper's §7.4 "about 475" uses real-valued
-    logs ([Exact], the default). *)
+    logs ([Exact], the default).
+
+    These closed forms rank strategies inside {!Planner.lower}; the same
+    arithmetic is re-derived per plan operator by {!Estimate} so EXPLAIN
+    can print the numbers the ranking used. *)
 
 type rounding = Exact | Ceil
 

@@ -1,0 +1,195 @@
+(* Plan-tree cost/cardinality estimation for EXPLAIN annotation.
+
+   The planner costs alternatives *while lowering* a query and throws the
+   numbers away; EXPLAIN wants them attached to the finished plan.  This
+   module re-derives them bottom-up over a physical plan with the same
+   ingredients — catalog statistics (Selinger defaults, per-column distinct
+   counts) and the paper's page-I/O arithmetic with Kim's ceilinged logs —
+   so the annotations agree with the planner's ranking without the executor
+   depending on the optimizer.
+
+   Cost is cumulative: the estimated page I/Os to produce the operator's
+   full output once, children included (sorts pay materialize + merge
+   passes + re-read; a nested-loop join pays the §4 rescan term when the
+   inner outgrows the pool; hash operators pay only their inputs, CPU being
+   invisible to the paper's metric). *)
+
+module Schema = Relalg.Schema
+module Catalog = Storage.Catalog
+module Stats = Storage.Stats
+module Pager = Storage.Pager
+open Sql.Ast
+
+type t = { rows : float; pages : float; cost : float }
+
+let est_pages catalog ~rows schema =
+  let width = float_of_int (Schema.tuple_width_estimate schema) in
+  let page = float_of_int (Pager.page_bytes (Catalog.pager catalog)) in
+  Float.max 1. (ceil (rows *. width /. page))
+
+(* The stored relation a node reads directly, for statistics lookup. *)
+let rec base_rel = function
+  | Exec.Plan.Scan name -> Some name
+  | Exec.Plan.Rename (_, input) -> base_rel input
+  | _ -> None
+
+(* Selectivity of one pushed-down predicate against base-table statistics
+   (the planner's arithmetic: literal comparisons use per-column stats,
+   everything else the classic defaults). *)
+let filter_selectivity catalog ~rel schema (p : predicate) =
+  let default = Stats.default_range_selectivity in
+  match (p, rel) with
+  | (Cmp (Col c, op, Lit v) | Cmp (Lit v, op, Col c)), Some rel -> (
+      match Schema.find_opt schema ?rel:c.table c.column with
+      | Some i ->
+          let cs = Stats.column (Catalog.stats catalog rel) i in
+          Stats.literal_selectivity cs
+            (match p with Cmp (Lit _, _, Col _) -> flip_cmp op | _ -> op)
+            v
+      | None -> default
+      | exception Schema.Ambiguous _ -> default)
+  | _ -> default
+
+let join_eq_selectivity catalog ~rel rschema (rc : col_ref) =
+  match rel with
+  | None -> Stats.default_eq_selectivity
+  | Some rel -> (
+      match Schema.find_opt rschema ?rel:rc.table rc.column with
+      | Some i ->
+          let cs = Stats.column (Catalog.stats catalog rel) i in
+          Stats.join_selectivity cs cs
+      | None -> Stats.default_eq_selectivity
+      | exception Schema.Ambiguous _ -> Stats.default_eq_selectivity)
+
+let analyze catalog (root : Exec.Plan.node) : (Exec.Plan.node * t) list =
+  let acc = ref [] in
+  let b = Pager.buffer_pages (Catalog.pager catalog) in
+  let sort_cost p = Cost.sort_cost ~rounding:Cost.Ceil ~b p in
+  let derived_pages node rows =
+    est_pages catalog ~rows (Exec.Plan.output_schema catalog node)
+  in
+  let rec go node =
+    let result =
+      match node with
+      | Exec.Plan.Scan name ->
+          let pages = float_of_int (Catalog.pages catalog name) in
+          {
+            rows = float_of_int (Catalog.tuples catalog name);
+            pages;
+            cost = pages;
+          }
+      | Exec.Plan.Rename (_, input) -> go input
+      | Exec.Plan.Filter (preds, input) ->
+          let i = go input in
+          let rel = base_rel input in
+          let schema = Exec.Plan.output_schema catalog input in
+          let sel =
+            List.fold_left
+              (fun s p -> s *. filter_selectivity catalog ~rel schema p)
+              1. preds
+          in
+          let rows = Float.max 1. (i.rows *. sel) in
+          { rows; pages = derived_pages node rows; cost = i.cost }
+      | Exec.Plan.Project (_, input) ->
+          let i = go input in
+          { rows = i.rows; pages = derived_pages node i.rows; cost = i.cost }
+      | Exec.Plan.Distinct input | Exec.Plan.Sort (_, input) ->
+          (* materialize (write), (B-1)-way merge sort, re-read the run *)
+          let i = go input in
+          {
+            rows = i.rows;
+            pages = i.pages;
+            cost = i.cost +. i.pages +. sort_cost i.pages +. i.pages;
+          }
+      | Exec.Plan.Hash_distinct input ->
+          (* one streamed pass; no page I/O for the table *)
+          let i = go input in
+          { rows = i.rows; pages = i.pages; cost = i.cost }
+      | Exec.Plan.Join { method_; kind; cond; left; right; _ } ->
+          let l = go left in
+          let r = go right in
+          let eq = List.filter (fun (_, op, _) -> op = Eq) cond in
+          let rrel = base_rel right in
+          let rschema = Exec.Plan.output_schema catalog right in
+          let sel =
+            if eq = [] then Stats.default_range_selectivity
+            else
+              List.fold_left
+                (fun s (_, _, rc) ->
+                  s *. join_eq_selectivity catalog ~rel:rrel rschema rc)
+                1. eq
+          in
+          let rows = Float.max 1. (l.rows *. r.rows *. sel) in
+          let rows =
+            match kind with
+            | Exec.Plan.Left_outer -> Float.max rows l.rows
+            | Exec.Plan.Inner -> rows
+          in
+          let cost =
+            match method_ with
+            | Exec.Plan.Sort_merge | Exec.Plan.Hash -> l.cost +. r.cost
+            | Exec.Plan.Nested_loop ->
+                (* §4: the stored inner is re-read per outer row unless it
+                   fits the pool. *)
+                l.cost
+                +.
+                if r.pages <= float_of_int (b - 1) then r.cost
+                else l.rows *. r.pages
+            | Exec.Plan.Index_nl ->
+                let probe_cost =
+                  match (rrel, eq) with
+                  | Some rel, (_, _, rc) :: _ -> (
+                      match Schema.find_opt rschema ?rel:rc.table rc.column with
+                      | Some key_col -> (
+                          match Catalog.index_on catalog rel ~key_col with
+                          | Some idx ->
+                              let cs =
+                                Stats.column (Catalog.stats catalog rel) key_col
+                              in
+                              let matches =
+                                if cs.Stats.distinct > 0 then
+                                  float_of_int (Catalog.tuples catalog rel)
+                                  /. float_of_int cs.Stats.distinct
+                                else 1.
+                              in
+                              ceil
+                                (log
+                                   (float_of_int
+                                      (max 2 (Storage.Index.pages idx)))
+                                /. log 2.)
+                              +. matches
+                          | None -> 1.)
+                      | None | (exception Schema.Ambiguous _) -> 1.)
+                  | _ -> 1.
+                in
+                l.cost +. (l.rows *. probe_cost)
+          in
+          { rows; pages = derived_pages node rows; cost }
+      | Exec.Plan.Group_agg { group_by; input; _ }
+      | Exec.Plan.Hash_group_agg { group_by; input; _ } ->
+          let i = go input in
+          let rows =
+            if group_by = [] then 1. else Float.max 1. (i.rows /. 3.)
+          in
+          { rows; pages = derived_pages node rows; cost = i.cost }
+    in
+    acc := (node, result) :: !acc;
+    result
+  in
+  ignore (go root);
+  !acc
+
+let root catalog plan =
+  match analyze catalog plan with
+  | (_, t) :: _ -> t (* the root is recorded last, hence first *)
+  | [] -> assert false
+
+let estimator catalog plan =
+  let entries = analyze catalog plan in
+  fun node ->
+    List.find_map
+      (fun (n, t) ->
+        if n == node then
+          Some { Exec.Explain.est_rows = t.rows; est_cost = t.cost }
+        else None)
+      entries

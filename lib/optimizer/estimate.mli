@@ -1,0 +1,25 @@
+(** Plan-tree cost/cardinality estimation for EXPLAIN annotation.
+
+    Re-derives, bottom-up over a finished physical plan, the numbers the
+    planner used while lowering: Selinger-style cardinalities from catalog
+    statistics and the paper's page-I/O cost arithmetic (§4/§7 shapes,
+    Kim's ceilinged logs).  [cost] is cumulative — the estimated page I/Os
+    to produce the operator's full output once, children included. *)
+
+type t = { rows : float; pages : float; cost : float }
+
+(** Per-node estimates for every operator of the plan, keyed by node
+    {e physical identity}.  Referenced tables (including already-registered
+    temps) must exist in the catalog.
+    @raise Storage.Catalog.Unknown_table / Exec.Plan.Plan_error otherwise. *)
+val analyze : Storage.Catalog.t -> Exec.Plan.node -> (Exec.Plan.node * t) list
+
+(** Estimate for the plan root. *)
+val root : Storage.Catalog.t -> Exec.Plan.node -> t
+
+(** {!analyze} packaged as the lookup {!Exec.Explain.render} expects. *)
+val estimator :
+  Storage.Catalog.t ->
+  Exec.Plan.node ->
+  Exec.Plan.node ->
+  Exec.Explain.est option

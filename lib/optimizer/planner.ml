@@ -543,12 +543,9 @@ let lower ?(force = Auto) ?(mode = Paper1987) (catalog : Catalog.t) (q : query)
 (* Program execution                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Materialize one temp definition and register it under its name with the
-   program's column names. *)
-let materialize_temp ?(force = Auto) ?(mode = Paper1987) catalog
-    ({ Program.name; def } : Program.temp) =
-  let { plan; out_sorted } = lower ~force ~mode catalog def in
-  let result = Exec.Plan.run catalog plan in
+(* Register an executed temp result under its name with the program's
+   column names and order metadata. *)
+let register_temp_result catalog name def out_sorted result =
   let names = Program.output_column_names def in
   let cols = Schema.columns (Relation.schema result) in
   if List.length names <> List.length cols then
@@ -561,33 +558,93 @@ let materialize_temp ?(force = Auto) ?(mode = Paper1987) catalog
   let renamed = Relation.make schema (Relation.rows result) in
   Catalog.register_relation ?sorted_on:out_sorted catalog name renamed
 
+(* Materialize one temp definition and register it under its name with the
+   program's column names. *)
+let materialize_temp ?(force = Auto) ?(mode = Paper1987) ?observe catalog
+    ({ Program.name; def } : Program.temp) =
+  let { plan; out_sorted } = lower ~force ~mode catalog def in
+  register_temp_result catalog name def out_sorted
+    (Exec.Plan.run ?observe catalog plan)
+
 (* Run a whole transformed program: temps in order, then the main query.
    Returns the result; created temps stay registered (callers can inspect
    them — the paper's tables show TEMP contents — and drop them with
    [drop_temps]). *)
-let run_program ?(force = Auto) ?(mode = Paper1987) catalog (p : Program.t) :
-    Relation.t =
-  List.iter (materialize_temp ~force ~mode catalog) p.temps;
+let run_program ?(force = Auto) ?(mode = Paper1987) ?observe catalog
+    (p : Program.t) : Relation.t =
+  List.iter (materialize_temp ~force ~mode ?observe catalog) p.temps;
   let { plan; _ } = lower ~force ~mode catalog p.main in
-  Exec.Plan.run catalog plan
+  Exec.Plan.run ?observe catalog plan
 
 let drop_temps catalog (p : Program.t) =
   List.iter (fun { Program.name; _ } -> Catalog.drop catalog name) p.temps
 
-(* EXPLAIN: the full pipeline as text. *)
-let explain ?(force = Auto) ?(mode = Paper1987) catalog (p : Program.t) :
-    string =
-  let buf = Buffer.create 256 in
-  let ppf = Fmt.with_buffer buf in
-  List.iter
-    (fun ({ Program.name; def } : Program.temp) ->
-      let { plan; _ } = lower ~force ~mode catalog def in
-      Fmt.pf ppf "temp %s:@.%a@." name (Exec.Plan.pp ~indent:1) plan;
-      (* materialize so later defs can resolve this temp *)
-      materialize_temp ~force ~mode catalog { Program.name; def })
-    p.temps;
-  let { plan; _ } = lower ~force ~mode catalog p.main in
-  Fmt.pf ppf "main:@.%a" (Exec.Plan.pp ~indent:1) plan;
-  Fmt.flush ppf ();
+type explained = {
+  seg_label : string;
+  seg_plan : Exec.Plan.node;
+  seg_text : string;
+  seg_json : string;
+}
+
+(* EXPLAIN [ANALYZE]: one annotated segment per pipeline step.
+
+   Temps are executed even without [analyze] — later segments lower against
+   their registered schemas and statistics, exactly as [run_program] would
+   see them — but only [analyze] instruments the execution (and runs the
+   main query at all).  Temps are dropped before returning. *)
+let explain_plans ?(force = Auto) ?(mode = Paper1987) ?(analyze = false)
+    ?trace catalog (p : Program.t) : explained list =
+  let trace_segment label =
+    match trace with
+    | Some out -> out (Printf.sprintf {|{"ev":"segment","name":%S}|} label)
+    | None -> ()
+  in
+  let segment label def ~register =
+    let { plan; out_sorted } = lower ~force ~mode catalog def in
+    (* estimate against pre-execution statistics, as the planner saw them *)
+    let estimate = Estimate.estimator catalog plan in
+    let run ?observe () =
+      match register with
+      | None -> ignore (Exec.Plan.run ?observe catalog plan)
+      | Some name ->
+          register_temp_result catalog name def out_sorted
+            (Exec.Plan.run ?observe catalog plan)
+    in
+    let text, json =
+      if analyze then begin
+        trace_segment label;
+        let session =
+          Exec.Explain.session ?trace (Catalog.pager catalog)
+        in
+        run ~observe:(Exec.Explain.observer session) ();
+        let metrics = Exec.Explain.metrics session in
+        ( Exec.Explain.render ~estimate ~metrics ~indent:1 plan,
+          Exec.Explain.render_json ~estimate ~metrics plan )
+      end
+      else begin
+        if register <> None then run ();
+        ( Exec.Explain.render ~estimate ~indent:1 plan,
+          Exec.Explain.render_json ~estimate plan )
+      end
+    in
+    { seg_label = label; seg_plan = plan; seg_text = text; seg_json = json }
+  in
+  let temp_segs =
+    List.map
+      (fun ({ Program.name; def } : Program.temp) ->
+        segment ("temp " ^ name) def ~register:(Some name))
+      p.temps
+  in
+  let main_seg = segment "main" p.main ~register:None in
   drop_temps catalog p;
-  Buffer.contents buf
+  temp_segs @ [ main_seg ]
+
+(* EXPLAIN: the full pipeline as text, one "label:" header per segment. *)
+let explain_text ?force ?mode ?analyze ?trace catalog (p : Program.t) : string
+    =
+  explain_plans ?force ?mode ?analyze ?trace catalog p
+  |> List.map (fun s -> s.seg_label ^ ":\n" ^ s.seg_text)
+  |> String.concat "\n"
+
+let explain ?force ?mode catalog (p : Program.t) : string =
+  explain_text ?force ?mode catalog p

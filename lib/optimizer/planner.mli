@@ -3,9 +3,18 @@
     queries to.
 
     Left-deep join trees in FROM order; a cost-based choice between
-    nested-loop and sort-merge per join; restrictions pushed below joins;
-    interesting orders tracked so born-sorted temps (§7.4) skip re-sorting;
-    GROUP BY / DISTINCT by sorting unless the order already holds. *)
+    nested-loop and sort-merge per join (the paper's §4/§7 page-I/O
+    arithmetic, via {!Cost}); restrictions pushed below joins; interesting
+    orders tracked so born-sorted temps (§7.4) skip re-sorting; GROUP BY /
+    DISTINCT by sorting unless the order already holds.
+
+    The {!mode} contract: [Paper1987] restricts the search space to the
+    operators and costs the paper knew — results and I/O counts are then
+    directly comparable to its tables; [Hybrid] widens the same search to
+    hash operators under the blended I/O+CPU model and must never change
+    {e results}, only plans.  {!explain_plans} exposes the chosen plans
+    with per-operator estimates ({!Estimate}) and, under ANALYZE, measured
+    runtime ({!Exec.Explain}). *)
 
 exception Planning_error of string
 
@@ -36,23 +45,68 @@ val lower :
 
 (** Plan, execute and register one temp definition under its program name
     (column names from [Program.output_column_names], order metadata from
-    the plan). *)
+    the plan).  [observe] intercepts every operator build — pass
+    [Exec.Explain.observer] to instrument the execution. *)
 val materialize_temp :
-  ?force:join_choice -> ?mode:mode -> Storage.Catalog.t -> Program.temp -> unit
+  ?force:join_choice ->
+  ?mode:mode ->
+  ?observe:Exec.Plan.observer ->
+  Storage.Catalog.t ->
+  Program.temp ->
+  unit
 
 (** Run a whole program: temps in order, then the main query.  Temps stay
     registered (the paper's tables print their contents); remove them with
-    {!drop_temps}. *)
+    {!drop_temps}.  [observe] as in {!materialize_temp}. *)
 val run_program :
   ?force:join_choice ->
   ?mode:mode ->
+  ?observe:Exec.Plan.observer ->
   Storage.Catalog.t ->
   Program.t ->
   Relalg.Relation.t
 
 val drop_temps : Storage.Catalog.t -> Program.t -> unit
 
+type explained = {
+  seg_label : string;  (** ["temp NAME"] or ["main"] *)
+  seg_plan : Exec.Plan.node;
+  seg_text : string;  (** annotated operator tree, indent 1 *)
+  seg_json : string;  (** the same tree as one JSON object *)
+}
+(** One pipeline segment of an EXPLAIN \[ANALYZE\], annotated with
+    {!Estimate} numbers and — under [~analyze:true] — runtime metrics. *)
+
+(** EXPLAIN \[ANALYZE\] every segment of a program.  Temp definitions are
+    executed either way (later segments plan against their registered
+    schemas and statistics, as {!run_program} would); [~analyze:true]
+    additionally instruments every execution — including the main query,
+    which otherwise never runs — and annotates each operator with actual
+    rows / [next] calls / wall-clock / page I/Os.  [trace] receives one
+    JSON line per operator event plus a [{"ev":"segment"}] marker per
+    segment.  Temps are dropped before returning. *)
+val explain_plans :
+  ?force:join_choice ->
+  ?mode:mode ->
+  ?analyze:bool ->
+  ?trace:(string -> unit) ->
+  Storage.Catalog.t ->
+  Program.t ->
+  explained list
+
+(** {!explain_plans} flattened to text: ["label:\n<tree>"] segments
+    separated by blank lines. *)
+val explain_text :
+  ?force:join_choice ->
+  ?mode:mode ->
+  ?analyze:bool ->
+  ?trace:(string -> unit) ->
+  Storage.Catalog.t ->
+  Program.t ->
+  string
+
 (** Physical plans of the whole pipeline as text (materializes and then
-    drops the temps so later definitions can be planned). *)
+    drops the temps so later definitions can be planned); equivalent to
+    {!explain_text} without analysis. *)
 val explain :
   ?force:join_choice -> ?mode:mode -> Storage.Catalog.t -> Program.t -> string
