@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-json doc clean
+.PHONY: all check test lint bench bench-json doc clean
 
 all:
 	dune build
@@ -10,6 +10,16 @@ check:
 	dune build && dune runtest
 
 test: check
+
+# Static diagnostics over the example corpus (docs/LINT.md).  `nestsql
+# lint` exits non-zero iff a diagnostic of Error severity is emitted, so
+# warnings (the corpus exercises NQ001-NQ003 on purpose) don't fail this.
+lint:
+	dune build bin/nestsql.exe
+	for f in examples/queries/*.sql; do \
+	  echo "== $$f"; \
+	  dune exec bin/nestsql.exe -- lint --json "$$f" || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe

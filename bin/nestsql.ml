@@ -5,6 +5,7 @@
      nestsql classify  "..."                      Kim's nesting class
      nestsql transform "..."                      print the canonical program
      nestsql explain   [--analyze] "..."          physical plans (+ runtime)
+     nestsql lint      [--json] FILE|-            static diagnostics (NQxxx)
      nestsql tables    [-d kim]                   list tables of the fixture
 
    Databases: a built-in fixture (-d kim | count-bug | neq-bug | duplicates)
@@ -170,6 +171,60 @@ let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze
     (ok_or_die
        (Core.explain_query ~analyze ?trace:(trace_sink exec_trace) db sql))
 
+(* ---------------- lint -------------------------------------------------- *)
+
+(* Cut every line at the first "--" outside a quoted string.  Truncating
+   (rather than deleting lines) keeps the line:col positions of everything
+   before the comment intact, so diagnostic spans still point into the
+   original file. *)
+let strip_sql_comments src =
+  String.split_on_char '\n' src
+  |> List.map (fun line ->
+         let n = String.length line in
+         let rec scan i in_quote =
+           if i >= n then line
+           else if line.[i] = '\'' then scan (i + 1) (not in_quote)
+           else if
+             (not in_quote) && line.[i] = '-' && i + 1 < n
+             && line.[i + 1] = '-'
+           then String.sub line 0 i
+           else scan (i + 1) in_quote
+         in
+         scan 0 false)
+  |> String.concat "\n"
+
+(* A query file can pin its fixture with a "-- fixture: NAME" pragma line
+   (the corpus under examples/queries/ does); it overrides -d. *)
+let fixture_pragma src =
+  let prefix = "-- fixture:" in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      if
+        String.length line >= String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix
+      then
+        Some
+          (String.trim
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix)))
+      else None)
+    (String.split_on_char '\n' src)
+
+let read_source = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let lint_cmd load_dir fixture tables buffer_pages page_bytes json file =
+  let src = read_source file in
+  let fixture = Option.value (fixture_pragma src) ~default:fixture in
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let diags = Core.lint_query db (strip_sql_comments src) in
+  if json then print_endline (Analysis.Diagnostics.list_to_json diags)
+  else if diags = [] then Fmt.pr "no diagnostics@."
+  else Fmt.pr "%s" (Analysis.Diagnostics.list_to_string diags);
+  if Analysis.Diagnostics.has_errors diags then exit 1
+
 let tables_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   List.iter
@@ -185,9 +240,9 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy = ref Core.Auto in
   Fmt.pr
-    "nestsql %s — interactive shell.@.Enter SQL or EXPLAIN [ANALYZE] SQL, \
-     or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \\compare \
-     SQL, \\strategy auto|nested|transformed, \\quit@.@."
+    "nestsql %s — interactive shell.@.Enter SQL, EXPLAIN [ANALYZE] SQL or \
+     LINT SQL, or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \
+     \\compare SQL, \\strategy auto|nested|transformed, \\quit@.@."
     Core.version;
   let show_tables () =
     List.iter
@@ -267,6 +322,12 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
           else explain ~analyze:false rest;
           loop ()
         end
+        else if keyword "LINT" line then begin
+          (match Core.lint_query db (after "LINT" line) with
+          | [] -> Fmt.pr "no diagnostics@."
+          | diags -> Fmt.pr "%s" (Analysis.Diagnostics.list_to_string diags));
+          loop ()
+        end
         else if starts_with "\\compare" line then begin
           (match Core.compare_strategies db (after "\\compare" line) with
           | Ok c ->
@@ -312,6 +373,24 @@ let cmds =
     cmd "explain"
       "Print annotated physical plans; --analyze adds runtime metrics."
       Term.(common (const explain_cmd) $ analyze $ exec_trace $ sql);
+    (let json =
+       let doc = "Emit diagnostics as a JSON array (schema in docs/LINT.md)." in
+       Arg.(value & flag & info [ "json" ] ~doc)
+     in
+     let file =
+       let doc =
+         "Query file to lint ('-' for stdin); one or more ';'-separated \
+          queries.  '--' comments are allowed; a '-- fixture: NAME' pragma \
+          selects the database."
+       in
+       Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+     in
+     cmd "lint"
+       "Lint nested queries: Kim classification cross-check, the paper's \
+        bug-class warnings (NQ001-NQ003), hygiene checks, and structural \
+        verification of the transformed program.  Exits 1 on any \
+        error-severity diagnostic."
+       Term.(common (const lint_cmd) $ json $ file));
     cmd "tables" "List the tables of the selected database."
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."

@@ -1,0 +1,8 @@
+-- fixture: count-bug
+-- Kiessling's COUNT-bug query (the paper's Q2, sections 5.1-5.2).
+-- Expected: warning NQ001 (count-bug-susceptible) on the inner block.
+-- NEST-JA2's outer join + COUNT(SHIPDATE) makes the rewrite correct,
+-- which is why this is a warning about Kim's NEST-JA, not an error.
+SELECT PNUM FROM PARTS WHERE QOH =
+  (SELECT COUNT(SHIPDATE) FROM SUPPLY
+   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80');

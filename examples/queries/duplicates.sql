@@ -1,0 +1,9 @@
+-- fixture: duplicates
+-- The duplicates problem (section 5.4): PARTS.PNUM holds duplicate values
+-- in this fixture, so joining the raw outer relation into the aggregate
+-- temp would count outer tuples twice.  Expected: NQ001 (COUNT aggregate)
+-- and NQ003 (duplicate-outer-join-column, driven by catalog statistics).
+-- NEST-JA2 projects the outer join column DISTINCT into TEMP1 first.
+SELECT PNUM FROM PARTS WHERE QOH =
+  (SELECT COUNT(SHIPDATE) FROM SUPPLY
+   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80');

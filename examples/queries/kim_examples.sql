@@ -1,0 +1,25 @@
+-- fixture: kim
+-- Kim's worked examples over the S / P / SP schema (the paper's sections
+-- 2-4).  Examples 1-4 lint clean (type-N / type-A / type-J); example 5 is
+-- type-JA with an equality correlation on P.CITY, which holds duplicate
+-- values in the fixture, so it draws the sec.-5.4 NQ003 warning.
+
+-- Example 1 (type-N): nested IN over an uncorrelated block.
+SELECT SNAME FROM S WHERE SNO IN
+  (SELECT SNO FROM SP WHERE PNO = 'P2');
+
+-- Example 2 (type-A): uncorrelated aggregate.
+SELECT SNO FROM SP WHERE PNO =
+  (SELECT MAX(PNO) FROM P);
+
+-- Example 3 (type-N): uncorrelated with a local restriction.
+SELECT SNO FROM SP WHERE PNO IN
+  (SELECT PNO FROM P WHERE WEIGHT > 15);
+
+-- Example 4 (type-J): correlated non-aggregate block.
+SELECT SNAME FROM S WHERE SNO IN
+  (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY);
+
+-- Example 5 (type-JA): MAX under an equality correlation.
+SELECT PNAME FROM P WHERE PNO =
+  (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY);

@@ -1,0 +1,8 @@
+-- fixture: neq-bug
+-- The non-equality-correlation query (the paper's Q5, section 5.3).
+-- Expected: warning NQ002 (non-equality-correlation) on the inner block:
+-- grouping SUPPLY by its own PNUM keys the groups by the wrong side when
+-- the correlation is a range comparison; NEST-JA2 groups a theta-joined
+-- temporary by the outer column instead.
+SELECT PNUM FROM PARTS WHERE QOH =
+  (SELECT MAX(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM < PARTS.PNUM);

@@ -1,0 +1,164 @@
+(* Structured static-analysis diagnostics.
+
+   Every finding of the lint pass and the rewrite verifier is a diagnostic
+   with a stable NQ-prefixed code, a severity, a source span (the enclosing
+   query block's, [Ast.no_span] for generated programs), a human message and
+   an optional hint citing the paper section that explains the situation.
+   Diagnostics render as pretty text (one line each) and as JSON (the format
+   CI consumes; schema in docs/LINT.md). *)
+
+module Ast = Sql.Ast
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string; (* stable, e.g. "NQ001" *)
+  title : string; (* stable slug, e.g. "count-bug-susceptible" *)
+  severity : severity;
+  span : Ast.span;
+  message : string;
+  hint : string option; (* paper citation / suggested fix *)
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* ------------------------------------------------------------------ *)
+(* The code catalogue (the contract documented in docs/LINT.md)        *)
+(* ------------------------------------------------------------------ *)
+
+(* code, slug, default severity, one-line description *)
+let catalogue : (string * string * severity * string) list =
+  [
+    ( "NQ001", "count-bug-susceptible", Warning,
+      "type-JA block whose aggregate is COUNT: Kim's NEST-JA loses \
+       zero-count outer tuples (the Kiessling COUNT bug, sec. 5.1-5.2); the \
+       rewrite needs NEST-JA2's outer join" );
+    ( "NQ002", "non-equality-correlation", Warning,
+      "type-JA block correlated under !=, <, <=, > or >=: grouping the \
+       inner relation alone keys groups by the wrong side (sec. 5.3); the \
+       rewrite needs NEST-JA2's theta-joined temp table" );
+    ( "NQ003", "duplicate-outer-join-column", Warning,
+      "outer join column of a type-JA block has duplicate values: joining \
+       the raw outer relation would inflate the aggregate (sec. 5.4); the \
+       rewrite needs the DISTINCT projection TEMP1" );
+    ( "NQ004", "unused-from-alias", Warning,
+      "FROM binds an alias no column reference uses: the block computes a \
+       cross product over it" );
+    ( "NQ005", "constant-false-predicate", Warning,
+      "predicate can never be satisfied; the block returns no rows" );
+    ( "NQ006", "classification-mismatch", Error,
+      "lint's Kim classification disagrees with Optimizer.Classify \
+       (internal cross-check; report this)" );
+    ( "NQ007", "no-rewrite-available", Info,
+      "nested predicate has no transformation in the paper (x = ALL, NOT \
+       IN); evaluation falls back to nested iteration" );
+    ( "NQ008", "multiplicity-sensitive-merge", Warning,
+      "correlated non-aggregate subquery below a COUNT/SUM/AVG outer \
+       block: NEST-N-J's IN-to-join merge would change the aggregate's \
+       multiplicity; the planner refuses the rewrite (Safe semantics)" );
+    ( "NQ100", "syntax-error", Error, "the query does not parse" );
+    ( "NQ101", "resolution-error", Error,
+      "name resolution or typing failed (analyzer diagnostic)" );
+    ( "NQ900", "non-canonical-program", Error,
+      "a transformed program still contains a nested predicate" );
+    ( "NQ901", "dangling-reference", Error,
+      "a transformed query references a column or table its FROM clause \
+       does not provide" );
+    ( "NQ902", "join-schema-mismatch", Error,
+      "a join predicate compares columns of incompatible types" );
+    ( "NQ903", "group-by-join-back-mismatch", Error,
+      "a grouped temp table's GROUP BY keys are not exactly the columns \
+       its consumers join back on under equality (sec. 5.3/6)" );
+    ( "NQ904", "outer-join-count-mismatch", Error,
+      "a grouped aggregate temp has an outer join iff its aggregate is \
+       COUNT violated (sec. 5.1-5.2/6)" );
+    ( "NQ905", "count-star-not-converted", Error,
+      "an outer-joined COUNT temp still counts * (or a preserved-side \
+       column) instead of a null-padded inner column (sec. 5.2.1)" );
+    ( "NQ906", "unused-temp", Error,
+      "a temp table is defined but never referenced by a later query" );
+  ]
+
+let find_code code =
+  List.find_opt (fun (c, _, _, _) -> String.equal c code) catalogue
+
+(* [make code span fmt] builds a diagnostic, taking slug and severity from
+   the catalogue (codes not in the catalogue are a programming error). *)
+let make ?hint code span fmt =
+  let title, severity =
+    match find_code code with
+    | Some (_, slug, sev, _) -> (slug, sev)
+    | None -> invalid_arg ("Diagnostics.make: unknown code " ^ code)
+  in
+  Fmt.kstr (fun message -> { code; title; severity; span; message; hint }) fmt
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+(* Stable presentation order: by position, then severity, then code. *)
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      let pos (d : t) = (d.span.Ast.sp_start.line, d.span.Ast.sp_start.col) in
+      match compare (pos a) (pos b) with
+      | 0 -> (
+          match compare (severity_rank a.severity) (severity_rank b.severity)
+          with
+          | 0 -> compare a.code b.code
+          | c -> c)
+      | c -> c)
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf (d : t) =
+  Fmt.pf ppf "%s[%s] %a: %s" (severity_name d.severity) d.code Ast.pp_span
+    d.span d.message;
+  match d.hint with None -> () | Some h -> Fmt.pf ppf "  (%s)" h
+
+let pp_list ppf diags =
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (sort diags)
+
+let to_string d = Fmt.str "%a" pp d
+
+let list_to_string diags = Fmt.str "%a" pp_list diags
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_json (s : Ast.span) =
+  Printf.sprintf
+    {|{"line":%d,"col":%d,"end_line":%d,"end_col":%d}|}
+    s.Ast.sp_start.line s.Ast.sp_start.col s.Ast.sp_end.line s.Ast.sp_end.col
+
+let to_json (d : t) =
+  let hint =
+    match d.hint with
+    | None -> ""
+    | Some h -> Printf.sprintf {|,"hint":"%s"|} (json_escape h)
+  in
+  Printf.sprintf
+    {|{"code":"%s","title":"%s","severity":"%s","span":%s,"message":"%s"%s}|}
+    d.code d.title (severity_name d.severity) (span_json d.span)
+    (json_escape d.message) hint
+
+let list_to_json diags =
+  "[" ^ String.concat "," (List.map to_json (sort diags)) ^ "]"

@@ -1,0 +1,26 @@
+(* Static lint over nested queries: Kim classification cross-check, the
+   paper's three bug classes (NQ001 COUNT bug, NQ002 non-equality
+   correlation, NQ003 duplicate outer join column) and hygiene checks.
+   See docs/LINT.md for the full code catalogue. *)
+
+val lint :
+  ?classify:(Sql.Ast.query -> string) ->
+  ?column_stats:(string -> string -> (int * int) option) ->
+  Sql.Ast.query ->
+  Diagnostics.t list
+(** [lint q] checks an {e analyzed} query (see {!Sql.Analyzer}).
+    [classify] is the optimizer's classification oracle (inner block ->
+    class name, e.g. ["type-JA"]); when given, lint's independent
+    classification is cross-checked against it (NQ006).  [column_stats rel
+    col] returns [(distinct, rows)] for a base-table column and enables the
+    duplicate-join-column check (NQ003). *)
+
+val lint_source :
+  ?classify:(Sql.Ast.query -> string) ->
+  ?column_stats:(string -> string -> (int * int) option) ->
+  lookup:(string -> Relalg.Schema.t option) ->
+  string ->
+  Diagnostics.t list
+(** [lint_source ~lookup src] parses and analyzes one or more ';'-separated
+    queries and lints each.  Parse failures are reported as NQ100, analyzer
+    diagnostics as NQ101 (the structural pass needs clean analysis). *)

@@ -1,0 +1,20 @@
+(* Structural verification of transformed programs: checks the invariants
+   the paper's corrected algorithms guarantee (flat definitions, resolvable
+   references, compatible join types, GROUP BY keys covered by equality
+   join-backs, outer join iff COUNT, COUNT over a null-padded inner
+   column, no dead temps).  Violations are Error-severity diagnostics
+   NQ900-NQ906; see docs/LINT.md. *)
+
+type program = { temps : (string * Sql.Ast.query) list; main : Sql.Ast.query }
+
+val verify :
+  lookup:(string -> Relalg.Schema.t option) ->
+  temps:(string * Sql.Ast.query) list ->
+  main:Sql.Ast.query ->
+  Diagnostics.t list
+(** [verify ~lookup ~temps ~main] checks a transformed program given as
+    ordered temp definitions plus the flat main query.  [lookup] resolves
+    base tables; temp schemas are derived progressively with the same
+    positional naming the program layer uses, so later definitions resolve
+    against earlier temps.  Returns the (sorted) violations; an empty list
+    means the program is structurally sound. *)

@@ -62,6 +62,69 @@ let query_tree db text =
   Result.map Optimizer.Query_tree.of_query (parse db text)
 
 (* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The injection points of the analysis library: the optimizer's classifier
+   as the cross-check oracle, catalog statistics for the duplicate-join-
+   column check. *)
+let classify_oracle sub =
+  Optimizer.Classify.name (Optimizer.Classify.classify_block sub)
+
+let column_stats db rel col =
+  match Catalog.lookup db.catalog rel with
+  | None -> None
+  | Some schema -> (
+      match Schema.find_opt schema col with
+      | Some i ->
+          let cs = Storage.Stats.column (Catalog.stats db.catalog rel) i in
+          Some (cs.Storage.Stats.distinct, Catalog.tuples db.catalog rel)
+      | None -> None
+      | exception Schema.Ambiguous _ -> None)
+
+(* Lint one or more ';'-separated queries: parse/analysis diagnostics
+   (NQ100/NQ101), the static checks (NQ001-NQ008), and — when a query is
+   transformable — structural verification of its transformed program
+   (NQ900-NQ906), so a broken rewrite surfaces as a lint error before
+   anything executes. *)
+let lint_query db text : Analysis.Diagnostics.t list =
+  let lookup = Catalog.lookup db.catalog in
+  let base =
+    Analysis.Lint.lint_source ~classify:classify_oracle
+      ~column_stats:(column_stats db) ~lookup text
+  in
+  let verify_diags =
+    if Analysis.Diagnostics.has_errors base then []
+    else
+      match Sql.Parser.parse_many_exn text with
+      | exception Sql.Parser.Error _ | exception Sql.Lexer.Error _ -> []
+      | queries ->
+          List.concat_map
+            (fun q ->
+              match Sql.Analyzer.analyze ~lookup q with
+              | Error _ -> []
+              | Ok analyzed -> (
+                  let fresh () = Catalog.fresh_temp_name db.catalog in
+                  match
+                    Optimizer.Nest_g.transform ~rewrite_not_in:false ~fresh
+                      analyzed
+                  with
+                  | program ->
+                      Optimizer.Planner.verify_program db.catalog program
+                  | exception Optimizer.Nest_g.Unsupported _
+                  | exception Optimizer.Ja_shape.Not_ja _
+                  | exception Optimizer.Nest_n_j.Not_applicable _
+                  | exception Optimizer.Extensions.Unsupported _ ->
+                      []))
+            queries
+  in
+  Analysis.Diagnostics.sort (base @ verify_diags)
+
+(* The correlation graph of an analyzed query (REPL/debugging surface). *)
+let correlation_graph db text =
+  Result.map Analysis.Correlation_graph.build (parse db text)
+
+(* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -77,7 +140,8 @@ type execution = {
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
-let run ?(strategy = Auto) ?trace db text : (execution, string) result =
+let run ?(strategy = Auto) ?trace ?on_fallback db text :
+    (execution, string) result =
   match parse db text with
   | Error _ as e -> e
   | Ok q -> (
@@ -100,18 +164,29 @@ let run ?(strategy = Auto) ?trace db text : (execution, string) result =
             io = Pager.diff_since pager before;
           }
       in
+      (* Every transformed program is verified before it runs (NQ900-NQ906);
+         a failing program is refused here and — under [Auto] — execution
+         falls back to nested iteration with a warning. *)
       let run_transformed force =
         match transform db text with
         | Error _ as e -> e
-        | Ok program ->
+        | Ok program -> (
             let before = Pager.snapshot pager in
-            let result =
-              Optimizer.Planner.run_program ~force ?observe db.catalog program
-            in
-            let io = Pager.diff_since pager before in
-            Optimizer.Planner.drop_temps db.catalog program;
-            Ok
-              { result; used_transformation = true; program = Some program; io }
+            match
+              Optimizer.Planner.run_program ~force ~verify:true ?observe
+                db.catalog program
+            with
+            | result ->
+                let io = Pager.diff_since pager before in
+                Optimizer.Planner.drop_temps db.catalog program;
+                Ok
+                  {
+                    result;
+                    used_transformation = true;
+                    program = Some program;
+                    io;
+                  }
+            | exception Optimizer.Planner.Planning_error msg -> Error msg)
       in
       match strategy with
       | Nested_iteration -> run_nested ()
@@ -119,7 +194,14 @@ let run ?(strategy = Auto) ?trace db text : (execution, string) result =
       | Auto -> (
           match run_transformed Optimizer.Planner.Auto with
           | Ok _ as ok -> ok
-          | Error _ -> run_nested ()))
+          | Error msg ->
+              (match on_fallback with
+              | Some warn ->
+                  warn
+                    ("transformed strategy refused (" ^ msg
+                   ^ "); falling back to nested iteration")
+              | None -> ());
+              run_nested ()))
 
 (* Convenience: the relation only. *)
 let query db text : (Relation.t, string) result =

@@ -55,6 +55,18 @@ val transform_traced :
 (** The Figure-2-style query-block tree. *)
 val query_tree : db -> string -> (Optimizer.Query_tree.t, string) result
 
+(** Lint one or more ';'-separated queries: parse/analysis diagnostics
+    (NQ100/NQ101), Kim-classification cross-check and the paper's three
+    bug-class warnings (NQ001 COUNT bug, NQ002 non-equality correlation,
+    NQ003 duplicate outer join column) plus hygiene checks, and — for
+    transformable queries — structural verification of the transformed
+    program (NQ900–NQ906).  See docs/LINT.md. *)
+val lint_query : db -> string -> Analysis.Diagnostics.t list
+
+(** The scope/correlation graph of an analyzed query. *)
+val correlation_graph :
+  db -> string -> (Analysis.Correlation_graph.t, string) result
+
 type strategy =
   | Nested_iteration  (** the System R method, over paged storage *)
   | Transformed of Optimizer.Planner.join_choice
@@ -69,10 +81,14 @@ type execution = {
 
 (** Run a query.  [trace] turns on per-operator JSON event tracing for
     plan-based executions (one line per operator open / next-batch /
-    close; see [docs/EXPLAIN.md]). *)
+    close; see [docs/EXPLAIN.md]).  Transformed programs are structurally
+    verified ({!Optimizer.Planner.verify_program}) before running; under
+    [Auto] a refused program falls back to nested iteration and
+    [on_fallback] receives the warning. *)
 val run :
   ?strategy:strategy ->
   ?trace:(string -> unit) ->
+  ?on_fallback:(string -> unit) ->
   db ->
   string ->
   (execution, string) result

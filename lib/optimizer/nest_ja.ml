@@ -37,6 +37,7 @@ let transform (q : query) (pred : predicate) ~temp_name :
       where = shape.local_preds;
       group_by = group_cols;
       order_by = [];
+      span = no_span;
     }
   in
   let temp_col (c : col_ref) =

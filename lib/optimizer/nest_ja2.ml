@@ -88,6 +88,7 @@ let transform (q : query) (pred : predicate) ~(fresh : unit -> string)
          else []);
       group_by = [];
       order_by = [];
+      span = no_span;
     }
   in
   let temp1_col c = { table = Some temp1_name; column = c } in
@@ -119,6 +120,7 @@ let transform (q : query) (pred : predicate) ~(fresh : unit -> string)
           where = shape.local_preds;
           group_by = [];
           order_by = [];
+          span = no_span;
         }
       in
       let temp2_col (c : col_ref) =
@@ -172,6 +174,7 @@ let transform (q : query) (pred : predicate) ~(fresh : unit -> string)
       where = agg_def_where;
       group_by = temp3_group;
       order_by = [];
+      span = no_span;
     }
   in
   (* ---- step 3: rewrite the original query ---- *)

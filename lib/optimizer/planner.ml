@@ -566,12 +566,35 @@ let materialize_temp ?(force = Auto) ?(mode = Paper1987) ?observe catalog
   register_temp_result catalog name def out_sorted
     (Exec.Plan.run ?observe catalog plan)
 
+(* Structural verification of a transformed program (NQ900-NQ906): the
+   invariants NEST-JA2 guarantees and Kim's NEST-JA violates.  The checker
+   itself lives in [Analysis.Rewrite_verifier]; this wrapper only adapts
+   [Program.t] to its plain-data interface. *)
+let verify_program catalog (p : Program.t) : Analysis.Diagnostics.t list =
+  Analysis.Rewrite_verifier.verify
+    ~lookup:(Catalog.lookup catalog)
+    ~temps:(List.map (fun { Program.name; def } -> (name, def)) p.temps)
+    ~main:p.main
+
 (* Run a whole transformed program: temps in order, then the main query.
    Returns the result; created temps stay registered (callers can inspect
    them — the paper's tables show TEMP contents — and drop them with
-   [drop_temps]). *)
-let run_program ?(force = Auto) ?(mode = Paper1987) ?observe catalog
-    (p : Program.t) : Relation.t =
+   [drop_temps]).  With [~verify:true] the program is structurally
+   verified first and refused ([Planning_error]) on any violation, so a
+   bad transformation can never silently produce a wrong answer. *)
+let run_program ?(force = Auto) ?(mode = Paper1987) ?(verify = false) ?observe
+    catalog (p : Program.t) : Relation.t =
+  (if verify then
+     match
+       List.filter
+         (fun (d : Analysis.Diagnostics.t) ->
+           d.Analysis.Diagnostics.severity = Analysis.Diagnostics.Error)
+         (verify_program catalog p)
+     with
+     | [] -> ()
+     | violations ->
+         errf "transformed program failed verification:\n%s"
+           (Analysis.Diagnostics.list_to_string violations));
   List.iter (materialize_temp ~force ~mode ?observe catalog) p.temps;
   let { plan; _ } = lower ~force ~mode catalog p.main in
   Exec.Plan.run ?observe catalog plan

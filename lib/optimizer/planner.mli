@@ -55,12 +55,25 @@ val materialize_temp :
   Program.temp ->
   unit
 
+(** Structurally verify a transformed program against the invariants the
+    corrected algorithms guarantee (NQ900–NQ906: canonical definitions,
+    resolvable references, compatible join types, GROUP BY keys covered by
+    equality join-backs, outer join iff COUNT, COUNT over a null-padded
+    inner column, no dead temps).  Thin adapter over
+    {!Analysis.Rewrite_verifier.verify}; an empty list means sound. *)
+val verify_program :
+  Storage.Catalog.t -> Program.t -> Analysis.Diagnostics.t list
+
 (** Run a whole program: temps in order, then the main query.  Temps stay
     registered (the paper's tables print their contents); remove them with
-    {!drop_temps}.  [observe] as in {!materialize_temp}. *)
+    {!drop_temps}.  [observe] as in {!materialize_temp}.  With
+    [~verify:true] the program is checked with {!verify_program} first and
+    refused with [Planning_error] on any Error-severity violation, so a bad
+    transformation can never silently produce a wrong answer. *)
 val run_program :
   ?force:join_choice ->
   ?mode:mode ->
+  ?verify:bool ->
   ?observe:Exec.Plan.observer ->
   Storage.Catalog.t ->
   Program.t ->

@@ -11,28 +11,67 @@
      ('1-1-80') behave as dates;
    and validates the block structure the transformation algorithms assume
    (single-item subqueries in scalar contexts, no bare columns next to
-   aggregates without GROUP BY, known tables, unambiguous references). *)
+   aggregates without GROUP BY, known tables, unambiguous references).
+
+   Two entry modes share the same traversal:
+   - [analyze_exn] / [analyze] raise/return on the *first* violation
+     (the historical behavior);
+   - [analyze_all] recovers at clause-item granularity (each FROM item,
+     select item, predicate, GROUP BY / ORDER BY column) and returns every
+     violation as a positioned diagnostic, leaving the offending piece of
+     the query unrewritten.  The lint pass builds on this. *)
 
 open Ast
 module Value = Relalg.Value
 module Schema = Relalg.Schema
 
-exception Error of string
+(* A positioned analysis diagnostic.  [dspan] is the span of the enclosing
+   query block when the precise construct has no position of its own. *)
+type diag = { dspan : span; dmsg : string }
 
-let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+exception Error of span * string
+
+(* Raised without a position; the nearest recovery point attaches the
+   enclosing block's span. *)
+let errf fmt = Fmt.kstr (fun s -> raise (Error (no_span, s))) fmt
+
+type ctx = {
+  lookup : string -> Schema.t option;
+  emit : (diag -> unit) option;
+      (* [None]: raise on first violation; [Some f]: report and recover *)
+}
+
+let located span (sp, msg) = ((if span_known sp then sp else span), msg)
+
+(* Run [f]; on a violation either record it (collect mode, returning
+   [default]) or re-raise it with the span attached (exn mode). *)
+let protect ctx ~span ~default f =
+  match f () with
+  | v -> v
+  | exception Error (sp, msg) -> (
+      let sp, msg = located span (sp, msg) in
+      match ctx.emit with
+      | Some emit ->
+          emit { dspan = sp; dmsg = msg };
+          default
+      | None -> raise (Error (sp, msg)))
 
 type frame = (string * Schema.t) list (* alias -> schema, one query block *)
 
 type scope = frame list (* innermost first *)
 
-let make_frame ~(lookup : string -> Schema.t option) (from : from_item list) :
-    frame =
+(* Bind the FROM items of one block.  In collect mode an unknown table or a
+   duplicate alias is reported and the item skipped, so resolution of the
+   rest of the block can continue. *)
+let make_frame ctx ~span (from : from_item list) : frame =
   let add seen (f : from_item) =
-    let alias = from_alias f in
-    if List.mem_assoc alias seen then errf "duplicate table alias %s" alias;
-    match lookup f.rel with
-    | None -> errf "unknown table %s" f.rel
-    | Some schema -> (alias, Schema.rename_rel schema alias) :: seen
+    protect ctx ~span ~default:seen (fun () ->
+        let alias = from_alias f in
+        if List.mem_assoc alias seen then
+          errf "duplicate table alias %s" alias;
+        match ctx.lookup f.rel with
+        | None -> errf "unknown table %s" f.rel
+        | Some schema -> (alias, Schema.rename_rel schema alias) :: seen)
   in
   List.rev (List.fold_left add [] from)
 
@@ -77,6 +116,13 @@ let scalar_type scope = function
   | Col c -> Some (snd (resolve_col scope c))
   | Lit v -> Value.type_of v
 
+(* [scalar_type] for contexts that must not fail on an unresolvable column
+   (collect mode has already reported it). *)
+let scalar_type_opt scope s =
+  match scalar_type scope s with
+  | ty -> ty
+  | exception Error _ -> None
+
 (* Coerce a string literal to [ty] when the other side of a comparison has
    type [ty]; reject clearly ill-typed comparisons. *)
 let coerce_literal (other_ty : Value.ty option) (s : scalar) : scalar =
@@ -91,7 +137,7 @@ let coerce_literal (other_ty : Value.ty option) (s : scalar) : scalar =
   | (Col _ | Lit _), _ -> s
 
 let check_comparable scope a b =
-  match scalar_type scope a, scalar_type scope b with
+  match scalar_type_opt scope a, scalar_type_opt scope b with
   | Some ta, Some tb ->
       let numeric = function
         | Value.Tint | Value.Tfloat -> true
@@ -116,8 +162,10 @@ let subquery_item_type scope (sub : query) =
   | [ Sel_agg (Max c | Min c | Sum c) ] -> Some (snd (resolve_col scope c))
   | _ -> None
 
-let rec analyze_query ~lookup (scope : scope) (q : query) : query =
-  let frame = make_frame ~lookup q.from in
+let rec analyze_query ctx (scope : scope) (q : query) : query =
+  let span = q.span in
+  let prot default f = protect ctx ~span ~default f in
+  let frame = make_frame ctx ~span q.from in
   let scope' = frame :: scope in
   (* Expand SELECT * *)
   let select =
@@ -137,13 +185,17 @@ let rec analyze_query ~lookup (scope : scope) (q : query) : query =
   let resolve_local_col c = fst (resolve_col [ frame ] c) in
   let select =
     List.map
-      (function
-        | Sel_col c -> Sel_col (resolve_local_col c)
-        | Sel_agg a -> Sel_agg (resolve_agg frame a)
-        | Sel_star -> assert false)
+      (fun item ->
+        prot item (fun () ->
+            match item with
+            | Sel_col c -> Sel_col (resolve_local_col c)
+            | Sel_agg a -> Sel_agg (resolve_agg frame a)
+            | Sel_star -> assert false))
       select
   in
-  let group_by = List.map resolve_local_col q.group_by in
+  let group_by =
+    List.map (fun c -> prot c (fun () -> resolve_local_col c)) q.group_by
+  in
   (* Aggregate/plain-column discipline *)
   let has_agg =
     List.exists (function Sel_agg _ -> true | _ -> false) select
@@ -151,16 +203,21 @@ let rec analyze_query ~lookup (scope : scope) (q : query) : query =
   let plain_cols =
     List.filter_map (function Sel_col c -> Some c | _ -> None) select
   in
-  if group_by = [] && has_agg && plain_cols <> [] then
-    errf
-      "SELECT mixes aggregates and plain columns without GROUP BY";
+  prot () (fun () ->
+      if group_by = [] && has_agg && plain_cols <> [] then
+        errf "SELECT mixes aggregates and plain columns without GROUP BY");
   if group_by <> [] then
     List.iter
       (fun c ->
-        if not (List.mem c group_by) then
-          errf "column %a must appear in GROUP BY" Pp.pp_col c)
+        prot () (fun () ->
+            if not (List.mem c group_by) then
+              errf "column %a must appear in GROUP BY" Pp.pp_col c))
       plain_cols;
-  let where = List.map (analyze_predicate ~lookup scope') q.where in
+  let where =
+    List.map
+      (fun p -> prot p (fun () -> analyze_predicate ctx scope' p))
+      q.where
+  in
   (* ORDER BY refers to output columns (by unqualified name). *)
   let output_names =
     List.map
@@ -173,14 +230,15 @@ let rec analyze_query ~lookup (scope : scope) (q : query) : query =
   let order_by =
     List.map
       (fun ((c : col_ref), dir) ->
-        (match c.table with
-        | Some _ ->
-            errf "ORDER BY uses unqualified output column names (got %a)"
-              Pp.pp_col c
-        | None -> ());
-        if not (List.mem c.column output_names) then
-          errf "ORDER BY column %s is not in the SELECT list" c.column;
-        (c, dir))
+        prot (c, dir) (fun () ->
+            (match c.table with
+            | Some _ ->
+                errf "ORDER BY uses unqualified output column names (got %a)"
+                  Pp.pp_col c
+            | None -> ());
+            if not (List.mem c.column output_names) then
+              errf "ORDER BY column %s is not in the SELECT list" c.column;
+            (c, dir)))
       q.order_by
   in
   { q with select; from = q.from; where; group_by; order_by }
@@ -205,22 +263,24 @@ and resolve_agg frame a =
       | Value.Tstr | Value.Tdate ->
           errf "AVG over non-numeric column %a" Pp.pp_col c)
 
-and analyze_subquery ~lookup scope ~context (sub : query) : query =
-  if sub.order_by <> [] then errf "ORDER BY is not allowed in a subquery";
-  let analyzed = analyze_query ~lookup scope sub in
-  (match context with
-  | `Scalar | `In ->
-      if List.length analyzed.select <> 1 then
-        errf "subquery used as a value must select exactly one item"
-  | `Exists -> ());
+and analyze_subquery ctx scope ~context (sub : query) : query =
+  protect ctx ~span:sub.span ~default:() (fun () ->
+      if sub.order_by <> [] then errf "ORDER BY is not allowed in a subquery");
+  let analyzed = analyze_query ctx scope sub in
+  protect ctx ~span:sub.span ~default:() (fun () ->
+      match context with
+      | `Scalar | `In ->
+          if List.length analyzed.select <> 1 then
+            errf "subquery used as a value must select exactly one item"
+      | `Exists -> ());
   analyzed
 
-and analyze_predicate ~lookup scope (p : predicate) : predicate =
+and analyze_predicate ctx scope (p : predicate) : predicate =
   match p with
   | Cmp (a, op, b) ->
       let a = resolve_scalar scope a and b = resolve_scalar scope b in
-      let a = coerce_literal (scalar_type scope b) a in
-      let b = coerce_literal (scalar_type scope a) b in
+      let a = coerce_literal (scalar_type_opt scope b) a in
+      let b = coerce_literal (scalar_type_opt scope a) b in
       check_comparable scope a b;
       Cmp (a, op, b)
   | Cmp_outer (a, op, b) ->
@@ -228,38 +288,54 @@ and analyze_predicate ~lookup scope (p : predicate) : predicate =
       Cmp_outer (a, op, b)
   | Cmp_subq (a, op, sub) ->
       let a = resolve_scalar scope a in
-      let sub = analyze_subquery ~lookup scope ~context:`Scalar sub in
-      let sub_frame = make_frame ~lookup sub.from in
+      let sub = analyze_subquery ctx scope ~context:`Scalar sub in
+      let sub_frame = make_frame ctx ~span:sub.span sub.from in
       let a =
-        coerce_literal (subquery_item_type (sub_frame :: scope) sub) a
+        match subquery_item_type (sub_frame :: scope) sub with
+        | ty -> coerce_literal ty a
+        | exception Error _ -> a
       in
       Cmp_subq (a, op, sub)
   | In_subq (a, sub) ->
       let a = resolve_scalar scope a in
-      let sub = analyze_subquery ~lookup scope ~context:`In sub in
-      let sub_frame = make_frame ~lookup sub.from in
+      let sub = analyze_subquery ctx scope ~context:`In sub in
+      let sub_frame = make_frame ctx ~span:sub.span sub.from in
       let a =
-        coerce_literal (subquery_item_type (sub_frame :: scope) sub) a
+        match subquery_item_type (sub_frame :: scope) sub with
+        | ty -> coerce_literal ty a
+        | exception Error _ -> a
       in
       In_subq (a, sub)
   | Not_in_subq (a, sub) ->
       let a = resolve_scalar scope a in
-      let sub = analyze_subquery ~lookup scope ~context:`In sub in
+      let sub = analyze_subquery ctx scope ~context:`In sub in
       Not_in_subq (a, sub)
-  | Exists sub -> Exists (analyze_subquery ~lookup scope ~context:`Exists sub)
+  | Exists sub -> Exists (analyze_subquery ctx scope ~context:`Exists sub)
   | Not_exists sub ->
-      Not_exists (analyze_subquery ~lookup scope ~context:`Exists sub)
+      Not_exists (analyze_subquery ctx scope ~context:`Exists sub)
   | Quant (a, op, qf, sub) ->
       let a = resolve_scalar scope a in
-      let sub = analyze_subquery ~lookup scope ~context:`In sub in
+      let sub = analyze_subquery ctx scope ~context:`In sub in
       Quant (a, op, qf, sub)
 
-let analyze_exn ~lookup q = analyze_query ~lookup [] q
+(* Raise [Error] (with the best span available) on the first violation. *)
+let analyze_exn ~lookup q = analyze_query { lookup; emit = None } [] q
+
+(* Best-effort rewrite plus *every* violation as positioned diagnostics.
+   When the diagnostic list is empty the returned query is fully analyzed. *)
+let analyze_all ~lookup q : query * diag list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let q' = analyze_query { lookup; emit = Some emit } [] q in
+  (q', List.rev !diags)
+
+let format_diag { dspan; dmsg } =
+  if span_known dspan then Fmt.str "%a: %s" pp_span dspan dmsg else dmsg
 
 let analyze ~lookup q =
   match analyze_exn ~lookup q with
   | q -> Ok q
-  | exception Error msg -> Error msg
+  | exception Error (sp, msg) -> Error (format_diag { dspan = sp; dmsg = msg })
 
 (* ------------------------------------------------------------------ *)
 (* Output schema                                                       *)
@@ -270,7 +346,7 @@ let analyze ~lookup q =
    program layer renames temp-table columns positionally, so these names
    only matter for debugging. *)
 let output_schema ~lookup ~rel (q : query) : Schema.t =
-  let frame = make_frame ~lookup q.from in
+  let frame = make_frame { lookup; emit = None } ~span:q.span q.from in
   let scope = [ frame ] in
   let column_of_item = function
     | Sel_col c -> (c.column, snd (resolve_col scope c))

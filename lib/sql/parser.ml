@@ -156,7 +156,19 @@ let parse_cmp st =
   advance st;
   op
 
+(* Position of the next unconsumed token, as an AST position.  The end of a
+   block's span is the position where parsing of the block stopped (the
+   first token after it), so spans are start-inclusive / end-exclusive. *)
+let ast_pos st : Ast.pos =
+  let p = pos st in
+  { Ast.line = p.Lexer.line; col = p.Lexer.col }
+
 let rec parse_query st =
+  let sp_start = ast_pos st in
+  let q = parse_query_body st in
+  { q with Ast.span = { Ast.sp_start; sp_end = ast_pos st } }
+
+and parse_query_body st =
   expect st Lexer.SELECT;
   let distinct =
     if peek st = Lexer.DISTINCT then begin
@@ -200,7 +212,7 @@ let rec parse_query st =
     end
     else []
   in
-  { distinct; select; from; where; group_by; order_by }
+  { distinct; select; from; where; group_by; order_by; span = no_span }
 
 and parse_conjunction st =
   let first = parse_predicate st in
@@ -271,10 +283,34 @@ let parse_exn src =
   | t -> fail st (Printf.sprintf "trailing input: %s" (Lexer.token_name t)));
   q
 
-let parse src =
-  match parse_exn src with
+(* Parse a whole file: any number of queries separated (and optionally
+   terminated) by ';'.  Used by [nestsql lint] over query corpora. *)
+let parse_many_exn src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ ->
+        let q = parse_query st in
+        (match peek st with
+        | Lexer.SEMI -> advance st
+        | Lexer.EOF -> ()
+        | t ->
+            fail st
+              (Printf.sprintf "expected ';' or end of input, found %s"
+                 (Lexer.token_name t)));
+        go (q :: acc)
+  in
+  go []
+
+let wrap_errors f src =
+  match f src with
   | q -> Ok q
   | exception Error (p, msg) ->
       Error (Printf.sprintf "parse error at line %d, column %d: %s" p.line p.col msg)
   | exception Lexer.Error (p, msg) ->
       Error (Printf.sprintf "lexical error at line %d, column %d: %s" p.line p.col msg)
+
+let parse src = wrap_errors parse_exn src
+
+let parse_many src = wrap_errors parse_many_exn src

@@ -195,7 +195,7 @@ let test_order_by_transformed_path () =
   let program =
     Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
   in
-  let result = Planner.run_program catalog program in
+  let result = Planner.run_program ~verify:true catalog program in
   Alcotest.(check bool) "ordered transformed result" true
     (Relation.column_values result "PNUM" = Value.[ Int 10; Int 8 ])
 

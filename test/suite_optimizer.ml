@@ -29,7 +29,7 @@ let ints rel name =
 let transform_and_run ?(force = Planner.Auto) catalog text =
   let q = parse catalog text in
   let program = Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q in
-  let result = Planner.run_program ~force catalog program in
+  let result = Planner.run_program ~force ~verify:true catalog program in
   (program, result)
 
 (* --- Classification ------------------------------------------------------ *)
@@ -512,7 +512,7 @@ let test_nest_g_not_in_extension () =
       ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
       q
   in
-  let result = Planner.run_program catalog program in
+  let result = Planner.run_program ~verify:true catalog program in
   let reference = Exec.Nested_iter.run catalog q in
   Alcotest.(check bool) "NOT IN via COUNT extension" true
     (Relation.equal_set reference result)
