@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test lint bench bench-json doc clean
+.PHONY: all check test lint fuzz-smoke bench bench-json doc clean
 
 all:
 	dune build
@@ -20,6 +20,15 @@ lint:
 	  echo "== $$f"; \
 	  dune exec bin/nestsql.exe -- lint --json "$$f" || exit 1; \
 	done
+
+# Differential oracle smoke run (docs/ORACLE.md): fixed seed, 500 random
+# nested queries, each through the full 17-cell candidate matrix, plus a
+# replay of the shrunk regression corpus.  Exits non-zero on any
+# discrepancy.
+fuzz-smoke:
+	dune build bin/nestsql.exe
+	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q
+	dune exec bin/nestsql.exe -- fuzz --replay examples/queries/regressions -q
 
 bench:
 	dune exec bench/main.exe

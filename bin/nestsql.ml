@@ -225,6 +225,78 @@ let lint_cmd load_dir fixture tables buffer_pages page_bytes json file =
   else Fmt.pr "%s" (Analysis.Diagnostics.list_to_string diags);
   if Analysis.Diagnostics.has_errors diags then exit 1
 
+(* ---------------- fuzz -------------------------------------------------- *)
+
+(* Differential oracle: random databases and nested queries, every
+   evaluation path cross-checked against nested iteration; discrepancies
+   are delta-debugged to minimal repro files (docs/ORACLE.md). *)
+let fuzz_cmd seed count write_dir replays quiet =
+  let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
+  (* --replay FILE/DIR: check existing repros instead of generating. *)
+  if replays <> [] then begin
+    let files =
+      List.concat_map
+        (fun path ->
+          if Sys.is_directory path then
+            Sys.readdir path |> Array.to_list |> List.sort compare
+            |> List.filter (fun f -> Filename.check_suffix f ".sql")
+            |> List.map (Filename.concat path)
+          else [ path ])
+        replays
+    in
+    if files = [] then die "no .sql repro files to replay";
+    let failures =
+      List.filter_map
+        (fun file ->
+          match Oracle.Driver.replay file with
+          | Ok () ->
+              Fmt.pr "%s: ok@." file;
+              None
+          | Error msg -> Some msg)
+        files
+    in
+    if failures <> [] then begin
+      List.iter (fun msg -> Fmt.epr "%s@." msg) failures;
+      die
+        (Printf.sprintf "%d of %d repro(s) disagree" (List.length failures)
+           (List.length files))
+    end
+  end
+  else begin
+    let report = Oracle.Driver.run ~log ~seed ~count () in
+    Fmt.pr "%a@." Oracle.Driver.pp_report report;
+    match report.Oracle.Driver.discrepancies with
+    | [] -> ()
+    | ds ->
+        List.iteri
+          (fun i (d : Oracle.Driver.discrepancy) ->
+            let description =
+              Printf.sprintf "seed %d case %d: %s" seed d.Oracle.Driver.index
+                (String.concat "; " d.Oracle.Driver.details)
+            in
+            let text =
+              Oracle.Repro.to_string ~description d.Oracle.Driver.case
+            in
+            match write_dir with
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "fuzz_seed%d_case%d.sql" seed
+                       d.Oracle.Driver.index)
+                in
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc text);
+                Fmt.epr "wrote %s@." path
+            | None ->
+                Fmt.epr "--- discrepancy %d ---@.%s%s@." (i + 1) text
+                  (String.concat "\n"
+                     (List.map (fun l -> "-- " ^ l) d.Oracle.Driver.details)))
+          ds;
+        die
+          (Printf.sprintf "%d discrepancy(ies) found" (List.length ds))
+  end
+
 let tables_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   List.iter
@@ -391,6 +463,40 @@ let cmds =
         verification of the transformed program.  Exits 1 on any \
         error-severity diagnostic."
        Term.(common (const lint_cmd) $ json $ file));
+    (let seed =
+       let doc = "Random seed (the same seed reproduces the same run)." in
+       Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+     in
+     let count =
+       let doc = "Number of random cases to generate." in
+       Arg.(value & opt int 500 & info [ "n"; "count" ] ~docv:"N" ~doc)
+     in
+     let write_dir =
+       let doc =
+         "Write each shrunk discrepancy as a repro file into $(docv) \
+          (created if missing) instead of printing it."
+       in
+       Arg.(value & opt (some string) None
+            & info [ "write-repros" ] ~docv:"DIR" ~doc)
+     in
+     let replays =
+       let doc =
+         "Replay a repro file (or every *.sql in a directory) through the \
+          full execution matrix instead of fuzzing; repeatable."
+       in
+       Arg.(value & opt_all string [] & info [ "replay" ] ~docv:"PATH" ~doc)
+     in
+     let quiet =
+       let doc = "Suppress per-case progress on stderr." in
+       Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+     in
+     cmd "fuzz"
+       "Differential oracle: random nested queries over random data \
+        (NULLs, duplicate keys, empty relations), every rewrite x planner \
+        mode x executor cross-checked against nested iteration; \
+        discrepancies are shrunk to minimal repros.  Exits 1 if any cell \
+        disagrees."
+       Term.(const fuzz_cmd $ seed $ count $ write_dir $ replays $ quiet));
     cmd "tables" "List the tables of the selected database."
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."

@@ -1,0 +1,13 @@
+-- oracle repro: range-ALL over an empty correlated inner.  Part 2 has no
+-- supply, so QOH >= ALL (empty) is vacuously true and nested iteration
+-- keeps the row; the paper's §8 rule rewrites >= ALL to >= MAX, and
+-- MAX of nothing is NULL, which rejects.  The safe rewrite compares 0
+-- against the COUNT of violating items and keeps the row.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,2
+-- row 2,0
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,2,1979-06-01
+-- row 1,1,1980-02-01
+SELECT PNUM FROM PARTS
+WHERE QOH >= ALL (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)

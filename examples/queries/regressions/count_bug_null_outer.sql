@@ -1,0 +1,15 @@
+-- oracle repro: NEST-JA2 COUNT with a NULL outer join column.  The part
+-- with PNUM NULL matches no supply, so COUNT = 0 = QOH and nested
+-- iteration keeps it; before the join-back used the null-safe <=>, the
+-- transformed program's final equality join dropped the NULL group row
+-- and lost the tuple (the Kiessling count bug, NULL variant).
+-- table PARTS (PNUM:int,QOH:int)
+-- row ,0
+-- row 1,2
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,5,1979-06-01
+-- row 1,3,1981-06-01
+-- row ,7,1979-01-01
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM)

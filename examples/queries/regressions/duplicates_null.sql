@@ -1,0 +1,18 @@
+-- oracle repro: §5.3 duplicate join values with NULL duplicates.  The
+-- outer has duplicate PNUMs (including two NULLs) and the inner has
+-- duplicate QUANs; IN-semantics must keep each qualifying outer row
+-- exactly once per occurrence and never join the NULL keys, while the
+-- join-based merge must not multiply rows by matching inner duplicates
+-- (compared as sets; see DESIGN.md) nor resurrect the NULL keys.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,5
+-- row 1,5
+-- row ,5
+-- row ,5
+-- row 2,7
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,5,1979-06-01
+-- row 1,5,1980-02-01
+-- row ,5,1979-01-01
+SELECT QOH FROM PARTS
+WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)

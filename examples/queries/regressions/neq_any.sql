@@ -1,0 +1,12 @@
+-- oracle repro: x != ANY with a multi-valued inner.  QOH = 2 and the
+-- inner holds {2, 3}: 2 != ANY {2,3} is true (3 differs), but the
+-- paper's §8 rule rewrites it to 2 NOT IN {2,3}, which is false — wrong
+-- even without NULLs anywhere.  The safe rewrite counts satisfying items
+-- (0 < COUNT where QOH != QUAN) and agrees with nested iteration.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,2
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,2,1979-06-01
+-- row 1,3,1979-06-01
+SELECT PNUM FROM PARTS
+WHERE QOH != ANY (SELECT QUAN FROM SUPPLY)

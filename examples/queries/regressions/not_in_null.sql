@@ -1,0 +1,14 @@
+-- oracle repro: NOT IN with a NULL inner item.  Under three-valued logic
+-- QOH NOT IN {5, NULL} is Unknown for every QOH (the NULL comparison can
+-- never be proven false), so the result is empty.  The unguarded
+-- NOT-IN-to-COUNT extension counted only visibly-equal items and wrongly
+-- accepted rows; the nullable guard now refuses the rewrite for this
+-- data (SUPPLY.QUAN has NULLs) and execution falls back to nested
+-- iteration — a refusal, never a wrong answer.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,2
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,5,1979-06-01
+-- row 1,,1979-06-01
+SELECT PNUM FROM PARTS
+WHERE QOH NOT IN (SELECT QUAN FROM SUPPLY)

@@ -1,0 +1,17 @@
+-- oracle repro: ORDER BY on the transformed path.  The planner treats
+-- ORDER BY as presentation, so the transformed program's result must be
+-- sorted after the final join — before Core.run applied the presentation
+-- sort to transformed executions, the rows came back in join order and
+-- the DESC ordering was silently lost.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,1
+-- row 2,1
+-- row 3,1
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,4,1979-06-01
+-- row 2,9,1979-06-01
+-- row 3,2,1981-03-01
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM)
+ORDER BY PNUM DESC

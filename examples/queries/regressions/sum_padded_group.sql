@@ -1,0 +1,14 @@
+-- oracle repro: SUM over a padding-only group.  Part 2 has no supply; in
+-- SQL, SUM over an empty set is NULL, so QOH = NULL is Unknown and the
+-- row is rejected — the transformed program's outer join pads part 2's
+-- group with NULLs and its SUM must stay NULL (only COUNT converts the
+-- padded group to 0).  A rewrite that aggregated the padding to 0 would
+-- wrongly accept the QOH = 0 row.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,3
+-- row 2,0
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,1,1979-06-01
+-- row 1,2,1981-03-01
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT SUM(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)

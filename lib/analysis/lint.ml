@@ -87,7 +87,9 @@ let direct_correlations ~env (sub : Ast.query) =
     sub.Ast.where
 
 let eval_lit_cmp (a : Value.t) (op : Ast.cmp) (b : Value.t) : bool option =
-  if Value.is_null a || Value.is_null b then Some false
+  if op = Ast.Eq_null then Some (Value.compare a b = 0)
+    (* null-safe: two-valued even on NULL operands *)
+  else if Value.is_null a || Value.is_null b then Some false
     (* SQL: comparison with NULL is never TRUE, so the conjunct can never
        be satisfied *)
   else
@@ -105,7 +107,8 @@ let eval_lit_cmp (a : Value.t) (op : Ast.cmp) (b : Value.t) : bool option =
           | Ast.Lt -> c < 0
           | Ast.Le -> c <= 0
           | Ast.Gt -> c > 0
-          | Ast.Ge -> c >= 0)
+          | Ast.Ge -> c >= 0
+          | Ast.Eq_null -> assert false (* handled above *))
     | _ -> None (* ill-typed: the analyzer reports that *)
 
 let check_constant_false ~emit ~span (p : Ast.predicate) =

@@ -182,7 +182,9 @@ let verify ~lookup ~temps ~main : D.t list =
                     let eq_joined =
                       List.filter_map
                         (fun (col, op) ->
-                          if op = Ast.Eq then Some col else None)
+                          match op with
+                          | Ast.Eq | Ast.Eq_null -> Some col
+                          | _ -> None)
                         joined
                     in
                     let missing =

@@ -36,12 +36,31 @@ let parse db text =
 let classify db text =
   Result.map Optimizer.Classify.classify_query (parse db text)
 
+(* "May [col] of relation [rel] be NULL?", answered from exact catalog
+   statistics (relations are immutable once registered, so nulls = 0 is a
+   proof).  Feeds the soundness guards of the §8 COUNT-form rewrites and
+   the NOT IN extension; anything unresolvable stays conservatively
+   nullable. *)
+let column_nullable db ~rel col =
+  match Catalog.lookup db.catalog rel with
+  | None -> true
+  | Some schema -> (
+      match Schema.find_opt schema col with
+      | Some i ->
+          (Storage.Stats.column (Catalog.stats db.catalog rel) i)
+            .Storage.Stats.nulls > 0
+      | None -> true
+      | exception Schema.Ambiguous _ -> true)
+
 let transform ?(rewrite_not_in = false) ?on_step db text =
   match parse db text with
   | Error _ as e -> e
   | Ok q -> (
       let fresh () = Catalog.fresh_temp_name db.catalog in
-      match Optimizer.Nest_g.transform ~rewrite_not_in ?on_step ~fresh q with
+      match
+        Optimizer.Nest_g.transform ~rewrite_not_in
+          ~nullable:(column_nullable db) ?on_step ~fresh q
+      with
       | program -> Ok program
       | exception Optimizer.Nest_g.Unsupported msg
       | exception Optimizer.Ja_shape.Not_ja msg
@@ -106,8 +125,8 @@ let lint_query db text : Analysis.Diagnostics.t list =
               | Ok analyzed -> (
                   let fresh () = Catalog.fresh_temp_name db.catalog in
                   match
-                    Optimizer.Nest_g.transform ~rewrite_not_in:false ~fresh
-                      analyzed
+                    Optimizer.Nest_g.transform ~rewrite_not_in:false
+                      ~nullable:(column_nullable db) ~fresh analyzed
                   with
                   | program ->
                       Optimizer.Planner.verify_program db.catalog program
@@ -140,8 +159,8 @@ type execution = {
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
-let run ?(strategy = Auto) ?trace ?on_fallback db text :
-    (execution, string) result =
+let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?trace ?on_fallback
+    db text : (execution, string) result =
   match parse db text with
   | Error _ as e -> e
   | Ok q -> (
@@ -168,15 +187,19 @@ let run ?(strategy = Auto) ?trace ?on_fallback db text :
          a failing program is refused here and — under [Auto] — execution
          falls back to nested iteration with a warning. *)
       let run_transformed force =
-        match transform db text with
+        match transform ~rewrite_not_in db text with
         | Error _ as e -> e
         | Ok program -> (
             let before = Pager.snapshot pager in
             match
-              Optimizer.Planner.run_program ~force ~verify:true ?observe
+              Optimizer.Planner.run_program ~force ?mode ~verify:true ?observe
                 db.catalog program
             with
             | result ->
+                (* ORDER BY is presentation, not plan structure: the nested
+                   paths sort inside [run]; the transformed path must sort
+                   here or a sorted query silently loses its order. *)
+                let result = Exec.Presentation.apply_order q result in
                 let io = Pager.diff_since pager before in
                 Optimizer.Planner.drop_temps db.catalog program;
                 Ok

@@ -81,12 +81,17 @@ type execution = {
 
 (** Run a query.  [trace] turns on per-operator JSON event tracing for
     plan-based executions (one line per operator open / next-batch /
-    close; see [docs/EXPLAIN.md]).  Transformed programs are structurally
-    verified ({!Optimizer.Planner.verify_program}) before running; under
-    [Auto] a refused program falls back to nested iteration and
-    [on_fallback] receives the warning. *)
+    close; see [docs/EXPLAIN.md]).  [rewrite_not_in] and [mode] parameterize
+    the transformed path exactly as {!transform} and
+    {!Optimizer.Planner.run_program} do (the differential oracle sweeps
+    them).  Transformed programs are structurally verified
+    ({!Optimizer.Planner.verify_program}) before running; under [Auto] a
+    refused program falls back to nested iteration and [on_fallback]
+    receives the warning. *)
 val run :
   ?strategy:strategy ->
+  ?rewrite_not_in:bool ->
+  ?mode:Optimizer.Planner.mode ->
   ?trace:(string -> unit) ->
   ?on_fallback:(string -> unit) ->
   db ->

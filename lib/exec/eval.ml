@@ -10,19 +10,25 @@ module Value = Relalg.Value
 module Truth = Relalg.Truth
 open Sql.Ast
 
-(* SQL comparison: Unknown if either side is NULL. *)
+(* SQL comparison: Unknown if either side is NULL — except the null-safe
+   [<=>], which is two-valued (NULL <=> NULL is True; NULL <=> v is False).
+   [Value.compare] already treats NULL as equal to itself only. *)
 let cmp_values (op : cmp) (a : Value.t) (b : Value.t) : Truth.t =
-  if Value.is_null a || Value.is_null b then Truth.Unknown
-  else
-    let c = Value.compare a b in
-    Truth.of_bool
-      (match op with
-      | Eq -> c = 0
-      | Ne -> c <> 0
-      | Lt -> c < 0
-      | Le -> c <= 0
-      | Gt -> c > 0
-      | Ge -> c >= 0)
+  match op with
+  | Eq_null -> Truth.of_bool (Value.compare a b = 0)
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+      if Value.is_null a || Value.is_null b then Truth.Unknown
+      else
+        let c = Value.compare a b in
+        Truth.of_bool
+          (match op with
+          | Eq -> c = 0
+          | Ne -> c <> 0
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | Eq_null -> assert false)
 
 (* [x IN vs] with SQL semantics: True if some member matches, Unknown if no
    member matches but some comparison was Unknown (NULLs), else False. *)

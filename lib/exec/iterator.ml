@@ -103,14 +103,17 @@ let distinct pager (input : t) : t =
    chooses this only when the distinct result is estimated to fit the
    buffer pool; {!distinct} remains the paper-faithful sort-based path. *)
 let hash_distinct (input : t) : t =
-  let seen : (Row.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* [Row.Tbl], not the structural Hashtbl: duplicate elimination must use
+     the same equality the sort-based path gets from [Value.compare] (Int 1
+     = Float 1.0, NULL = NULL). *)
+  let seen : unit Row.Tbl.t = Row.Tbl.create 256 in
   let rec next () =
     match input.next () with
     | None -> None
     | Some r ->
-        if Hashtbl.mem seen r then next ()
+        if Row.Tbl.mem seen r then next ()
         else begin
-          Hashtbl.add seen r ();
+          Row.Tbl.add seen r ();
           Some r
         end
   in
@@ -198,8 +201,11 @@ let index_nested_loop_join ?(outer_join = false)
    many-to-many matches by buffering the current right-side key group in
    memory.  [residual] filters joined rows (non-key predicates); with
    [outer_join], a left row whose group yields no residual-qualifying match
-   is emitted padded — the same semantics as the nested-loop outer join. *)
-let merge_join ?(outer_join = false)
+   is emitted padded — the same semantics as the nested-loop outer join.
+   [null_safe] marks key columns joined with [<=>] rather than [=]: on
+   those, NULL matches NULL (Value.compare's sort order already groups
+   NULLs, so the merge needs no other change). *)
+let merge_join ?(outer_join = false) ?(null_safe : bool list option)
     ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key ~right_key
     (left : t) (right : t) : t =
   let right_arity = Schema.arity right.schema in
@@ -228,10 +234,21 @@ let merge_join ?(outer_join = false)
     in
     go 0
   in
-  (* Keys containing NULL never join (SQL semantics): skip such rows on both
-     sides ([outer_join] still pads the left ones). *)
+  (* Keys containing NULL in a *strict* ([=]) column never join (SQL
+     semantics): skip such rows on both sides ([outer_join] still pads the
+     left ones).  Null-safe ([<=>]) columns keep their NULL rows — they
+     group and match like any other value. *)
+  let strict =
+    match null_safe with
+    | None -> Array.make nk true
+    | Some flags -> Array.of_list (List.map not flags)
+  in
   let key_has_null idxs r =
-    Array.exists (fun i -> Value.is_null (Row.get r i)) idxs
+    let rec go i =
+      i < nk
+      && ((strict.(i) && Value.is_null (Row.get r idxs.(i))) || go (i + 1))
+    in
+    go 0
   in
   let residual_ok l r =
     match residual with
@@ -311,9 +328,11 @@ let merge_join ?(outer_join = false)
 (* Classic in-memory hash join: build a table on the right side, probe per
    left row.  This is the *modern* comparator — it assumes the build side
    fits in memory, an assumption the 1987 cost model never makes, so the
-   planner only uses it when forced (see the bench ablation).  NULL keys
-   never match; [outer_join] pads unmatched left rows. *)
-let hash_join ?(outer_join = false)
+   planner only uses it when forced (see the bench ablation).  NULL keys in
+   strict ([=]) columns never match; [null_safe] columns ([<=>]) let NULL
+   match NULL, exactly as in {!merge_join}.  [outer_join] pads unmatched
+   left rows. *)
+let hash_join ?(outer_join = false) ?(null_safe : bool list option)
     ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key ~right_key
     (left : t) (right : t) : t =
   let pad = Row.nulls (Schema.arity right.schema) in
@@ -322,12 +341,21 @@ let hash_join ?(outer_join = false)
     match residual with None -> true | Some f -> Truth.to_bool (f l r)
   in
   let lk = Array.of_list left_key and rk = Array.of_list right_key in
-  (* Keys are value arrays; the table's generic hash/equality are
-     structural, which agrees with [Value.compare] on same-typed columns
-     (NULL keys never reach the table). *)
-  let table : (Row.t, Row.t list) Hashtbl.t = Hashtbl.create 64 in
+  let nk = Array.length lk in
+  let strict =
+    match null_safe with
+    | None -> Array.make nk true
+    | Some flags -> Array.of_list (List.map not flags)
+  in
+  (* [Row.Tbl]: semantic key equality/hash (Int/Float unify numerically,
+     NULL equals itself) so hash joins agree with the sort-merge path. *)
+  let table : Row.t list Row.Tbl.t = Row.Tbl.create 64 in
   let key_null idxs r =
-    Array.exists (fun i -> Value.is_null (Row.get r i)) idxs
+    let rec go i =
+      i < nk
+      && ((strict.(i) && Value.is_null (Row.get r idxs.(i))) || go (i + 1))
+    in
+    go 0
   in
   let rec build () =
     match right.next () with
@@ -335,15 +363,15 @@ let hash_join ?(outer_join = false)
     | Some r ->
         if not (key_null rk r) then begin
           let k = Row.project_positions r rk in
-          Hashtbl.replace table k
-            (r :: Option.value (Hashtbl.find_opt table k) ~default:[])
+          Row.Tbl.replace table k
+            (r :: Option.value (Row.Tbl.find_opt table k) ~default:[])
         end;
         build ()
   in
   build ();
   (* Probe with one reused scratch key buffer: a single allocation for the
      whole probe side instead of one key list per left row. *)
-  let probe_key = Array.make (Array.length lk) Value.Null in
+  let probe_key = Array.make nk Value.Null in
   let pending = ref [] in
   let rec next () =
     match !pending with
@@ -362,7 +390,7 @@ let hash_join ?(outer_join = false)
                   (fun r ->
                     if residual_ok l r then Some (Row.append l r) else None)
                   (List.rev
-                     (Option.value (Hashtbl.find_opt table probe_key)
+                     (Option.value (Row.Tbl.find_opt table probe_key)
                         ~default:[]))
               end
             in
@@ -502,7 +530,9 @@ let finish_state = function
 let hash_group_agg ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t =
   let gk = Array.of_list group_key in
   let agg_arr = Array.of_list aggs in
-  let groups : (Row.t, agg_state array) Hashtbl.t = Hashtbl.create 256 in
+  (* [Row.Tbl]: group keys must unify under [Value.compare] semantics (NULL
+     is one group; Int/Float group numerically), matching the sorted path. *)
+  let groups : agg_state array Row.Tbl.t = Row.Tbl.create 256 in
   let order = ref [] (* group keys, most recent first *) in
   let probe = Array.make (Array.length gk) Value.Null in
   let drain () =
@@ -512,12 +542,12 @@ let hash_group_agg ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t =
       | Some r ->
           Array.iteri (fun i gi -> probe.(i) <- Row.get r gi) gk;
           let states =
-            match Hashtbl.find_opt groups probe with
+            match Row.Tbl.find_opt groups probe with
             | Some st -> st
             | None ->
                 let key = Array.copy probe in
                 let st = Array.map fresh_state agg_arr in
-                Hashtbl.add groups key st;
+                Row.Tbl.add groups key st;
                 order := key :: !order;
                 st
           in
@@ -548,7 +578,7 @@ let hash_group_agg ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t =
         let rows =
           List.rev_map
             (fun key ->
-              let states = Hashtbl.find groups key in
+              let states = Row.Tbl.find groups key in
               Row.append key (Array.map finish_state states))
             !order
         in

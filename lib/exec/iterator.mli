@@ -67,12 +67,15 @@ val index_nested_loop_join :
   t
 
 (** Sort-merge join on equality keys; inputs must be sorted on their keys.
-    Handles many-to-many groups; NULL keys never join (left rows with NULL
-    keys are still padded under [outer_join]); [residual] filters matches,
-    and under [outer_join] a left row with no residual-qualifying match is
-    padded. *)
+    Handles many-to-many groups; NULL keys in strict columns never join
+    (left rows with NULL keys are still padded under [outer_join]);
+    [null_safe] flags — aligned with [left_key]/[right_key] — mark columns
+    joined with the null-safe [<=>], on which NULL matches NULL;
+    [residual] filters matches, and under [outer_join] a left row with no
+    residual-qualifying match is padded. *)
 val merge_join :
   ?outer_join:bool ->
+  ?null_safe:bool list ->
   ?residual:(Relalg.Row.t -> Relalg.Row.t -> Relalg.Truth.t) ->
   left_key:int list ->
   right_key:int list ->
@@ -81,9 +84,11 @@ val merge_join :
   t
 
 (* Beyond the paper: in-memory hash join (build right, probe left); the
-   modern comparator for the bench ablation.  NULL keys never match. *)
+   modern comparator for the bench ablation.  NULL keys in strict columns
+   never match; [null_safe] columns ([<=>]) let NULL match NULL. *)
 val hash_join :
   ?outer_join:bool ->
+  ?null_safe:bool list ->
   ?residual:(Relalg.Row.t -> Relalg.Row.t -> Relalg.Truth.t) ->
   left_key:int list ->
   right_key:int list ->

@@ -223,9 +223,12 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
           { it with schema = joined_schema }
       | Hash ->
           let rit = execute ?observe catalog right in
-          let eq_cond, rest = List.partition (fun (_, op, _) -> op = Eq) cond in
+          let eq_cond, rest =
+            List.partition (fun (_, op, _) -> op = Eq || op = Eq_null) cond
+          in
           if eq_cond = [] then
             errf "hash join requires at least one equality condition";
+          let null_safe = List.map (fun (_, op, _) -> op = Eq_null) eq_cond in
           let lit_schema = lit.schema in
           let left_key =
             List.map (fun (lc, _, _) -> find_col lit_schema lc) eq_cond
@@ -249,17 +252,18 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
               (residual_fn (Row.append l r))
           in
           let it =
-            Iterator.hash_join ~outer_join ~residual ~left_key ~right_key lit
-              rit
+            Iterator.hash_join ~outer_join ~null_safe ~residual ~left_key
+              ~right_key lit rit
           in
           { it with schema = joined_schema }
       | Sort_merge ->
           let rit = execute ?observe catalog right in
           let eq_cond, rest =
-            List.partition (fun (_, op, _) -> op = Eq) cond
+            List.partition (fun (_, op, _) -> op = Eq || op = Eq_null) cond
           in
           if eq_cond = [] then
             errf "sort-merge join requires at least one equality condition";
+          let null_safe = List.map (fun (_, op, _) -> op = Eq_null) eq_cond in
           let left_key = List.map (fun (lc, _, _) -> find_col lit.schema lc) eq_cond in
           let right_key =
             List.map (fun (_, _, rc) -> find_col rit.schema rc) eq_cond
@@ -280,8 +284,8 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
               (residual_fn (Row.append l r))
           in
           let it =
-            Iterator.merge_join ~outer_join ~residual ~left_key ~right_key lit
-              rit
+            Iterator.merge_join ~outer_join ~null_safe ~residual ~left_key
+              ~right_key lit rit
           in
           { it with schema = joined_schema })
   | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }

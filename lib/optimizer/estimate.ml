@@ -108,7 +108,9 @@ let analyze catalog (root : Exec.Plan.node) : (Exec.Plan.node * t) list =
       | Exec.Plan.Join { method_; kind; cond; left; right; _ } ->
           let l = go left in
           let r = go right in
-          let eq = List.filter (fun (_, op, _) -> op = Eq) cond in
+          let eq =
+            List.filter (fun (_, op, _) -> op = Eq || op = Eq_null) cond
+          in
           let rrel = base_rel right in
           let rschema = Exec.Plan.output_schema catalog right in
           let sel =

@@ -46,13 +46,18 @@ type scope = (string * string) list (* alias -> relation, enclosing blocks *)
 let scope_of_query (q : query) : scope =
   List.map (fun f -> (from_alias f, f.rel)) q.from
 
-(* Rewrite [x NOT IN sub] into an aggregate form NEST-JA2 can handle. *)
-let not_in_to_count (x : scalar) (sub : query) : predicate =
+(* Rewrite [x NOT IN sub] into an aggregate form NEST-JA2 can handle.
+   Exact only when neither [x] nor the inner item can be NULL (a NULL on
+   either side makes the inlined equality Unknown, so the COUNT misses
+   rows NOT IN must see) and when [x]'s alias is not captured by [sub] —
+   the same guard as the §8 COUNT forms, so it is shared. *)
+let not_in_to_count ~nullable ~scope (x : scalar) (sub : query) : predicate =
   let item =
     match sub.select with
     | [ Sel_col c ] -> c
     | _ -> raise (Unsupported "NOT IN subquery must select one plain column")
   in
+  Extensions.check_count_form ~nullable ~scope x sub item;
   Cmp_subq
     ( Lit (Relalg.Value.Int 0),
       Eq,
@@ -75,8 +80,9 @@ let describe_from (q : query) =
   String.concat ", " (List.map (fun f -> from_alias f) q.from)
 
 let rec transform_block ~fresh ~(scope : scope) ~rewrite_not_in ~semantics
-    ~(on_step : string -> unit) (acc : Program.temp list ref) (q : query) :
-    query =
+    ~nullable ~(on_step : string -> unit) (acc : Program.temp list ref)
+    (q : query) : query =
+  let local_scope = scope_of_query q @ scope in
   (* §8 rewrites at this level. *)
   let q =
     {
@@ -84,7 +90,10 @@ let rec transform_block ~fresh ~(scope : scope) ~rewrite_not_in ~semantics
       where =
         List.map
           (fun p ->
-            let p' = Extensions.rewrite_predicate p in
+            let p' =
+              Extensions.rewrite_predicate ~paper:(semantics = Paper)
+                ~nullable ~scope:local_scope p
+            in
             if p' != p then
               on_step
                 (Fmt.str "rewrote per sec. 8: %a  ==>  %a" Sql.Pp.pp_predicate
@@ -103,7 +112,7 @@ let rec transform_block ~fresh ~(scope : scope) ~rewrite_not_in ~semantics
             match p with
             | In_subq (x, sub) when select_has_agg sub -> Cmp_subq (x, Eq, sub)
             | Not_in_subq (x, sub) when rewrite_not_in ->
-                not_in_to_count x sub
+                not_in_to_count ~nullable ~scope:local_scope x sub
             | _ -> p)
           q.where;
     }
@@ -118,8 +127,8 @@ let rec transform_block ~fresh ~(scope : scope) ~rewrite_not_in ~semantics
       in
       (* Recurse first (postorder): the inner block becomes canonical. *)
       let inner' =
-        transform_block ~fresh ~scope:(scope_of_query q @ scope)
-          ~rewrite_not_in ~semantics ~on_step acc inner
+        transform_block ~fresh ~scope:local_scope ~rewrite_not_in ~semantics
+          ~nullable ~on_step acc inner
       in
       let pred' =
         match pred with
@@ -226,17 +235,22 @@ let rec transform_block ~fresh ~(scope : scope) ~rewrite_not_in ~semantics
                     (List.map (fun t -> t.Program.name) temps)));
             rewritten
       in
-      transform_block ~fresh ~scope ~rewrite_not_in ~semantics ~on_step acc q
+      transform_block ~fresh ~scope ~rewrite_not_in ~semantics ~nullable
+        ~on_step acc q
 
 (* [transform ~fresh q] reduces a nested query of arbitrary depth to a
-   canonical program.  @raise Unsupported / Ja_shape.Not_ja /
+   canonical program.  [nullable] feeds the soundness guards of the §8
+   COUNT forms and the NOT IN extension (default: everything may be NULL,
+   so those rewrites refuse).  @raise Unsupported / Ja_shape.Not_ja /
    Nest_n_j.Not_applicable / Extensions.Unsupported on shapes outside the
    paper's algorithms. *)
 let transform ?(rewrite_not_in = false) ?(semantics = Safe)
+    ?(nullable = Extensions.default_nullable)
     ?(on_step = fun (_ : string) -> ()) ~(fresh : unit -> string) (q : query)
     : Program.t =
   let acc = ref [] in
   let main =
-    transform_block ~fresh ~scope:[] ~rewrite_not_in ~semantics ~on_step acc q
+    transform_block ~fresh ~scope:[] ~rewrite_not_in ~semantics ~nullable
+      ~on_step acc q
   in
   { Program.temps = !acc; main }

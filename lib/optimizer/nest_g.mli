@@ -15,15 +15,19 @@ type semantics = Safe | Paper
 
 (** Transform a nested query of arbitrary depth into a canonical program.
     [fresh] allocates temp-table names.  [rewrite_not_in] enables the
-    beyond-the-paper NOT IN → COUNT rewrite (NULL caveat in DESIGN.md).
-    [on_step] receives a human-readable trace line for every action the
-    recursion takes (sec.-8 rewrite, NEST-N-J merge, type-A
-    materialization, NEST-JA2 application) in postorder.
+    beyond-the-paper NOT IN → COUNT rewrite; it and the §8 [!= ANY] /
+    range-[ALL] COUNT forms are guarded by [nullable ~rel col] ("may this
+    column be NULL?"), defaulting to the conservative
+    [Extensions.default_nullable] under which they refuse.  [on_step]
+    receives a human-readable trace line for every action the recursion
+    takes (sec.-8 rewrite, NEST-N-J merge, type-A materialization,
+    NEST-JA2 application) in postorder.
     @raise Unsupported, [Ja_shape.Not_ja], [Nest_n_j.Not_applicable] or
     [Extensions.Unsupported] on shapes outside the paper's algorithms. *)
 val transform :
   ?rewrite_not_in:bool ->
   ?semantics:semantics ->
+  ?nullable:(rel:string -> string -> bool) ->
   ?on_step:(string -> unit) ->
   fresh:(unit -> string) ->
   Sql.Ast.query ->

@@ -181,9 +181,16 @@ let transform (q : query) (pred : predicate) ~(fresh : unit -> string)
   let temp3_col c = { table = Some temp3_name; column = c } in
   let agg_out = Program.item_output_name (Sel_agg agg_item) in
   let equality_joins =
+    (* Null-safe [<=>], not [=]: TEMP3 groups by the outer join columns
+       *including* a NULL group (NULL is an ordinary grouping value), and an
+       outer row whose join column is NULL must still find its zero-count
+       group row.  Under strict [=] that row silently vanishes — the NULL
+       variant of the very COUNT bug this algorithm exists to fix. *)
     List.map
       (fun c ->
-        Cmp (Col { table = Some outer_alias; column = c }, Eq, Col (temp3_col c)))
+        Cmp
+          (Col { table = Some outer_alias; column = c }, Eq_null,
+           Col (temp3_col c)))
       outer_cols
   in
   let where =

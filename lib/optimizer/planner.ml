@@ -166,7 +166,13 @@ let join_step catalog ~(force : join_choice) ~(mode : mode) (left : state)
          | _ -> ())
        conds);
   let oriented = List.map (orient_cond ~alias) conds in
-  let eq_conds = List.filter (fun (_, op, _) -> op = Eq) oriented in
+  let eq_conds =
+    (* Null-safe equality joins partition and sort exactly like strict
+       equality (Value.compare groups NULLs together), so merge and hash
+       methods apply to both; the NULL-match semantics live in the
+       operators' per-column strictness flags. *)
+    List.filter (fun (_, op, _) -> op = Eq || op = Eq_null) oriented
+  in
   let b = Storage.Pager.buffer_pages (Catalog.pager catalog) in
   (* Cost estimates for the two methods. *)
   let nl_cost =

@@ -1,0 +1,104 @@
+(* The fuzzing loop: generate seeded cases, run each through the full
+   execution matrix, and reduce every discrepancy to a minimal repro.
+
+   Determinism: one [Random.State] seeded from [seed] drives everything,
+   so a failing (seed, count) pair is a complete bug report; the repro
+   files exist so the bug survives the generator changing underneath it. *)
+
+type discrepancy = {
+  index : int;  (* which generated case, 0-based *)
+  case : Repro.case;  (* the shrunk case *)
+  details : string list;  (* one line per disagreeing matrix cell *)
+}
+
+type report = {
+  cases : int;
+  executed : int;  (* candidate executions that produced a result *)
+  refusals : int;  (* transformation declined — expected, counted *)
+  discrepancies : discrepancy list;
+}
+
+let count_outcomes (r : Matrix.result) =
+  List.fold_left
+    (fun (ex, ref_) (o : Matrix.outcome) ->
+      match o.Matrix.verdict with
+      | Matrix.Refused _ -> (ex, ref_ + 1)
+      | Matrix.Agree | Matrix.Mismatch _ | Matrix.Failed _ -> (ex + 1, ref_))
+    (0, 0) r.Matrix.outcomes
+
+(* A case "still fails" iff some matrix cell disagrees — any cell, not the
+   originally failing one: the shrinker must not chase a moving target
+   into a different bug silently, but pinning the exact candidate makes
+   minimization brittle when a smaller input shifts which executor
+   diverges first.  The repro records every disagreeing cell. *)
+let fails case =
+  match Matrix.run_case case with
+  | r -> (
+      match r.Matrix.reference with
+      | Error _ -> true (* reference failure is itself a bug *)
+      | Ok _ -> Matrix.discrepancies r <> [])
+  | exception _ -> true
+
+let shrunk case = Shrink.minimize ~still_fails:fails case
+
+let run ?(log = ignore) ~seed ~count () : report =
+  let rng = Random.State.make [| seed |] in
+  let executed = ref 0 and refusals = ref 0 and discrepancies = ref [] in
+  for index = 0 to count - 1 do
+    let case = Gen.case rng in
+    let result = Matrix.run_case case in
+    let ex, ref_ = count_outcomes result in
+    executed := !executed + ex;
+    refusals := !refusals + ref_;
+    let bad =
+      match result.Matrix.reference with
+      | Error msg -> [ "reference failed: " ^ msg ]
+      | Ok _ -> Matrix.describe result
+    in
+    if bad <> [] then begin
+      log
+        (Printf.sprintf "case %d: %d disagreeing cell(s); shrinking — %s"
+           index (List.length bad) case.Repro.sql);
+      let case = shrunk case in
+      let details =
+        let r = Matrix.run_case case in
+        match r.Matrix.reference with
+        | Error msg -> [ "reference failed: " ^ msg ]
+        | Ok _ -> Matrix.describe r
+      in
+      (* the shrunk case can only fail in the ways [fails] accepts, but if
+         description comes back empty keep the original lines *)
+      let details = if details = [] then bad else details in
+      discrepancies := { index; case; details } :: !discrepancies
+    end
+    else if index mod 50 = 49 then
+      log (Printf.sprintf "%d/%d cases clean" (index + 1) count)
+  done;
+  {
+    cases = count;
+    executed = !executed;
+    refusals = !refusals;
+    discrepancies = List.rev !discrepancies;
+  }
+
+(* ---------------- replay ------------------------------------------------ *)
+
+(* Replay one repro file through the full matrix: [Ok ()] iff every cell
+   agrees or refuses. *)
+let replay path : (unit, string) result =
+  match Repro.load path with
+  | exception Repro.Bad_repro msg -> Error (path ^ ": " ^ msg)
+  | case -> (
+      let result = Matrix.run_case case in
+      match result.Matrix.reference with
+      | Error msg -> Error (path ^ ": reference failed: " ^ msg)
+      | Ok _ -> (
+          match Matrix.describe result with
+          | [] -> Ok ()
+          | lines -> Error (path ^ ":\n  " ^ String.concat "\n  " lines)))
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "%d cases, %d candidate executions, %d refusals, %d discrepancies"
+    r.cases r.executed r.refusals
+    (List.length r.discrepancies)

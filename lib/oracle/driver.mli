@@ -1,0 +1,26 @@
+(** The fuzzing loop: generate [count] seeded cases, run each through the
+    full matrix, shrink every discrepancy to a minimal repro. *)
+
+type discrepancy = {
+  index : int;  (** which generated case, 0-based *)
+  case : Repro.case;  (** the shrunk case *)
+  details : string list;  (** one line per disagreeing matrix cell *)
+}
+
+type report = {
+  cases : int;
+  executed : int;  (** candidate executions that produced a result *)
+  refusals : int;  (** transformation declined — expected, counted *)
+  discrepancies : discrepancy list;
+}
+
+(** Does any matrix cell disagree on [case]?  (The shrinker's predicate.) *)
+val fails : Repro.case -> bool
+
+val run : ?log:(string -> unit) -> seed:int -> count:int -> unit -> report
+
+(** Replay one repro file through the full matrix: [Ok ()] iff every cell
+    agrees or refuses. *)
+val replay : string -> (unit, string) result
+
+val pp_report : report Fmt.t

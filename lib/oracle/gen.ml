@@ -1,0 +1,82 @@
+(* Seeded random cases for the differential oracle: a PARTS/SUPPLY database
+   whose data profile sweeps the regions where the rewrites have
+   historically been wrong — NULL join/aggregate columns (controlled
+   density), duplicate-heavy join columns (small key ranges, the §5.4
+   skew), empty inner and outer relations — and a nested query drawn from
+   all four Kim types plus the §8 EXISTS / ANY / ALL predicate forms and
+   the beyond-the-paper NOT IN shape.
+
+   Query text generators come from [Workload.Gen] (shared with the qcheck
+   properties and the benchmarks); the quantifier shapes are added here
+   because only the oracle exercises them against the full matrix. *)
+
+module G = Workload.Gen
+
+type rng = Random.State.t
+
+let pick = G.pick
+let int_in = G.int_in
+
+(* ---------------- quantifier / EXISTS shapes --------------------------- *)
+
+let corr_clause rng =
+  match int_in rng 0 2 with
+  | 0 -> ""
+  | 1 -> Printf.sprintf " WHERE SUPPLY.PNUM %s PARTS.PNUM" (pick rng G.cmp_ops)
+  | _ ->
+      Printf.sprintf " WHERE SUPPLY.PNUM = PARTS.PNUM AND QUAN >= %d"
+        (int_in rng 0 9)
+
+let exists_query rng =
+  let neg = if Random.State.bool rng then "NOT " else "" in
+  Printf.sprintf "SELECT PNUM FROM PARTS WHERE %sEXISTS (SELECT * FROM SUPPLY%s)"
+    neg (corr_clause rng)
+
+let quant_query rng =
+  let op = pick rng G.cmp_ops in
+  let quantifier = if Random.State.bool rng then "ANY" else "ALL" in
+  Printf.sprintf
+    "SELECT PNUM FROM PARTS WHERE QOH %s %s (SELECT QUAN FROM SUPPLY%s)" op
+    quantifier (corr_clause rng)
+
+let not_in_query rng =
+  Printf.sprintf
+    "SELECT PNUM FROM PARTS WHERE QOH NOT IN (SELECT QUAN FROM SUPPLY%s)"
+    (corr_clause rng)
+
+let order_by_query rng =
+  G.ja_query rng ^ " ORDER BY PNUM" ^ if Random.State.bool rng then " DESC" else ""
+
+(* The pool, weighted toward the aggregate shapes (the paper's bug
+   surface) but covering every family each run. *)
+let query rng =
+  match int_in rng 0 9 with
+  | 0 -> G.n_query rng
+  | 1 -> G.a_query rng
+  | 2 -> G.j_query rng
+  | 3 | 4 -> G.ja_query rng
+  | 5 -> G.deep_query rng
+  | 6 -> G.flat_query rng
+  | 7 -> exists_query rng
+  | 8 -> if Random.State.bool rng then quant_query rng else not_in_query rng
+  | _ -> order_by_query rng
+
+(* ---------------- data profiles ---------------------------------------- *)
+
+(* NULL density: mostly none (the paper's setting), sometimes moderate,
+   sometimes heavy; key ranges small enough that duplicates and
+   many-to-many joins are the norm; sizes include empty relations on both
+   sides. *)
+let case rng : Repro.case =
+  let null_pct = pick rng [ 0; 0; 15; 15; 40 ] in
+  let key_range = pick rng [ 1; 2; 3; 6 ] in
+  let n_parts = pick rng [ 0; 1; 2; 3; 4; 5; 6; 8 ] in
+  let n_supply = pick rng [ 0; 1; 2; 4; 6; 9; 12 ] in
+  {
+    Repro.tables =
+      [
+        ("PARTS", G.parts ~null_pct rng ~n:n_parts ~key_range);
+        ("SUPPLY", G.supply ~null_pct rng ~n:n_supply ~key_range);
+      ];
+    sql = query rng;
+  }

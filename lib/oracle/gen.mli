@@ -1,0 +1,11 @@
+(** Seeded random oracle cases: PARTS/SUPPLY data sweeping NULL density,
+    duplicate-key skew and empty relations; queries across all four Kim
+    types plus EXISTS / ANY / ALL / NOT IN and ORDER BY shapes. *)
+
+type rng = Random.State.t
+
+(** One random query (text). *)
+val query : rng -> string
+
+(** One random database + query. *)
+val case : rng -> Repro.case

@@ -1,0 +1,215 @@
+(* The execution matrix: one query, every evaluation path the system has.
+
+   Reference: in-memory nested iteration ([Exec.Nested_iter]) plus the
+   presentation ORDER BY — the non-optimizing engine the paper treats as
+   ground truth.  Candidates: the paged nested iteration, and the NEST-G
+   transformed program under every (rewrite flag x planner mode x forced
+   join method) combination, each through [Core.run] so the verifier and
+   the presentation sort are on the same path users take.
+
+   A candidate that *refuses* (query not transformable, or a soundness
+   guard such as the nullable-COUNT-form check declines) is fine — a
+   refusal is never a wrong answer.  A candidate that runs must agree with
+   the reference; one that fails mid-flight (planning error, verifier
+   rejection of a generated program, runtime error) is as much a
+   discrepancy as a wrong answer. *)
+
+module Relation = Relalg.Relation
+module Row = Relalg.Row
+module Value = Relalg.Value
+module Planner = Optimizer.Planner
+
+type candidate =
+  | Paged_nested
+  | Rewrite of {
+      rewrite_not_in : bool;
+      mode : Planner.mode;
+      force : Planner.join_choice;
+    }
+
+let candidate_label = function
+  | Paged_nested -> "paged-nested"
+  | Rewrite { rewrite_not_in; mode; force } ->
+      Printf.sprintf "rewrite%s/%s/%s"
+        (if rewrite_not_in then "+not-in" else "")
+        (match mode with Planner.Paper1987 -> "paper" | Planner.Hybrid -> "hybrid")
+        (match force with
+        | Planner.Auto -> "auto"
+        | Planner.Force_nl -> "nl"
+        | Planner.Force_merge -> "merge"
+        | Planner.Force_hash -> "hash")
+
+(* The full grid: 1 + 2*2*4 = 17 executions per query. *)
+let all_candidates =
+  Paged_nested
+  :: List.concat_map
+       (fun rewrite_not_in ->
+         List.concat_map
+           (fun mode ->
+             List.map
+               (fun force -> Rewrite { rewrite_not_in; mode; force })
+               [ Planner.Auto; Planner.Force_nl; Planner.Force_merge;
+                 Planner.Force_hash ])
+           [ Planner.Paper1987; Planner.Hybrid ])
+       [ false; true ]
+
+type verdict =
+  | Agree
+  | Refused of string  (* transformation declined; not a discrepancy *)
+  | Mismatch of { expected : Relation.t; got : Relation.t }
+  | Failed of string  (* planning / verification / runtime error *)
+
+type outcome = { candidate : candidate; verdict : verdict }
+
+type result = {
+  reference : (Relation.t, string) Stdlib.result;
+  outcomes : outcome list;  (* empty when the reference itself failed *)
+}
+
+(* ---------------- comparator ------------------------------------------ *)
+
+(* NULL-aware multiset comparison: [Row.compare] orders NULL first and
+   equal to itself, so sorting both sides and comparing rowwise under
+   [Value.compare] is exact on NULLs (no three-valued leakage).
+
+   Multiplicities are compared exactly when the query fixes them (DISTINCT
+   dedups; GROUP BY / aggregates emit one row per group); a plain select
+   is compared as a set, because NEST-N-J's join-based merge multiplies
+   outer rows by matching inner duplicates — the documented §5.4 residue
+   (DESIGN.md), not a wrong answer under the paper's set reading.
+
+   Under ORDER BY both sides are presentation-sorted, so we additionally
+   require the candidate's delivered order to respect the sort keys. *)
+let multiplicities_fixed (q : Sql.Ast.query) =
+  q.Sql.Ast.distinct || q.Sql.Ast.group_by <> [] || Sql.Ast.select_has_agg q
+
+let sorted_under (q : Sql.Ast.query) (rel : Relation.t) =
+  match q.Sql.Ast.order_by with
+  | [] -> true
+  | keys -> (
+      let schema = Relation.schema rel in
+      match
+        List.map
+          (fun ((c : Sql.Ast.col_ref), dir) ->
+            (Relalg.Schema.find schema c.column, dir))
+          keys
+      with
+      | exception _ -> false
+      | positions ->
+          let le a b =
+            let rec go = function
+              | [] -> true
+              | (i, dir) :: rest -> (
+                  let c = Value.compare (Row.get a i) (Row.get b i) in
+                  let c =
+                    match dir with Sql.Ast.Asc -> c | Sql.Ast.Desc -> -c
+                  in
+                  if c < 0 then true else if c > 0 then false else go rest)
+            in
+            go positions
+          in
+          let rec pairs = function
+            | a :: (b :: _ as rest) -> le a b && pairs rest
+            | _ -> true
+          in
+          pairs (Relation.rows rel))
+
+let results_agree ~(q : Sql.Ast.query) ~reference ~got =
+  (if multiplicities_fixed q then Relation.equal_bag else Relation.equal_set)
+    reference got
+  && sorted_under q got
+
+(* ---------------- running --------------------------------------------- *)
+
+let is_refusal msg =
+  (* [Core.transform] tags every transformation refusal; anything else out
+     of the transformed path (parse errors never reach here on generated
+     queries, planner/verifier failures do) is a genuine failure. *)
+  let prefix = "not transformable:" in
+  String.length msg >= String.length prefix
+  && String.sub msg 0 (String.length prefix) = prefix
+
+let run_reference (case : Repro.case) : (Relation.t, string) Stdlib.result =
+  let db = Repro.build_db case in
+  match Core.parse db case.sql with
+  | Error _ as e -> e
+  | Ok q -> (
+      match Exec.Nested_iter.run (Core.catalog db) q with
+      | rel -> Ok (Exec.Presentation.apply_order q rel)
+      | exception Exec.Nested_iter.Runtime_error msg -> Error msg)
+
+(* Each candidate runs against its own freshly loaded database: a failed
+   program can leave temps behind, and pager/statistics state must not
+   leak between grid cells. *)
+let run_candidate (case : Repro.case) candidate :
+    (Relation.t, string) Stdlib.result =
+  let db = Repro.build_db case in
+  let strategy =
+    match candidate with
+    | Paged_nested -> Core.Nested_iteration
+    | Rewrite { force; _ } -> Core.Transformed force
+  in
+  let rewrite_not_in, mode =
+    match candidate with
+    | Paged_nested -> (false, None)
+    | Rewrite { rewrite_not_in; mode; _ } -> (rewrite_not_in, Some mode)
+  in
+  match Core.run ~strategy ~rewrite_not_in ?mode db case.sql with
+  | Ok e -> Ok e.Core.result
+  | Error _ as e -> e
+  | exception Exec.Nested_iter.Runtime_error msg -> Error ("runtime: " ^ msg)
+
+let run_case ?(candidates = all_candidates) (case : Repro.case) : result =
+  match run_reference case with
+  | Error _ as reference -> { reference; outcomes = [] }
+  | Ok reference ->
+      let db0 = Repro.build_db case in
+      let q =
+        match Core.parse db0 case.sql with
+        | Ok q -> q
+        | Error msg -> invalid_arg ("Matrix.run_case: " ^ msg)
+      in
+      let outcomes =
+        List.map
+          (fun candidate ->
+            let verdict =
+              match run_candidate case candidate with
+              | Ok got ->
+                  if results_agree ~q ~reference ~got then Agree
+                  else Mismatch { expected = reference; got }
+              | Error msg ->
+                  if is_refusal msg then Refused msg else Failed msg
+            in
+            { candidate; verdict })
+          candidates
+      in
+      { reference = Ok reference; outcomes }
+
+let discrepancies (r : result) =
+  List.filter
+    (fun o ->
+      match o.verdict with
+      | Agree | Refused _ -> false
+      | Mismatch _ | Failed _ -> true)
+    r.outcomes
+
+(* One line per disagreeing candidate, for logs and repro descriptions. *)
+let describe_verdict = function
+  | Agree -> "agree"
+  | Refused msg -> "refused: " ^ msg
+  | Failed msg -> "failed: " ^ msg
+  | Mismatch { expected; got } ->
+      Printf.sprintf "mismatch: expected %d rows, got %d rows"
+        (Relation.cardinality expected)
+        (Relation.cardinality got)
+
+let describe (r : result) =
+  match r.reference with
+  | Error msg -> [ "reference failed: " ^ msg ]
+  | Ok _ ->
+      List.filter_map
+        (fun o ->
+          match o.verdict with
+          | Agree | Refused _ -> None
+          | v -> Some (candidate_label o.candidate ^ ": " ^ describe_verdict v))
+        r.outcomes

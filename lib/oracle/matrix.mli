@@ -1,0 +1,54 @@
+(** The execution matrix: one query evaluated by the non-optimizing
+    reference (in-memory nested iteration + presentation ORDER BY) and by
+    every candidate path — paged nested iteration, and the NEST-G rewrite
+    under every (NOT-IN flag x planner mode x forced join method) cell.
+    A candidate may {e refuse} (not transformable / soundness guard); a
+    candidate that answers must agree with the reference under the
+    NULL-aware comparator. *)
+
+type candidate =
+  | Paged_nested
+  | Rewrite of {
+      rewrite_not_in : bool;
+      mode : Optimizer.Planner.mode;
+      force : Optimizer.Planner.join_choice;
+    }
+
+val candidate_label : candidate -> string
+
+(** The full grid: paged nested iteration plus all 16 rewrite cells. *)
+val all_candidates : candidate list
+
+type verdict =
+  | Agree
+  | Refused of string  (** transformation declined; not a discrepancy *)
+  | Mismatch of { expected : Relalg.Relation.t; got : Relalg.Relation.t }
+  | Failed of string  (** planning / verification / runtime error *)
+
+type outcome = { candidate : candidate; verdict : verdict }
+
+type result = {
+  reference : (Relalg.Relation.t, string) Stdlib.result;
+  outcomes : outcome list;  (** empty when the reference itself failed *)
+}
+
+(** NULL-aware comparison: multiset when the query fixes multiplicities
+    (DISTINCT / GROUP BY / aggregates), set otherwise (§5.4 duplicate
+    residue, see DESIGN.md); under ORDER BY the candidate's delivered
+    order must respect the sort keys. *)
+val results_agree :
+  q:Sql.Ast.query ->
+  reference:Relalg.Relation.t ->
+  got:Relalg.Relation.t ->
+  bool
+
+val run_reference : Repro.case -> (Relalg.Relation.t, string) Stdlib.result
+
+val run_case : ?candidates:candidate list -> Repro.case -> result
+
+(** The outcomes that count as bugs (mismatches and failures). *)
+val discrepancies : result -> outcome list
+
+(** One line per disagreeing cell; [[]] means every cell agreed or
+    refused. *)
+val describe : result -> string list

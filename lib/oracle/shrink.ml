@@ -1,0 +1,115 @@
+(* Delta debugging for oracle discrepancies: given a failing case and the
+   predicate "still fails", reduce the table data to a local minimum —
+   first rows (ddmin-style chunk removal, halving chunk sizes down to
+   single rows), then cell values (every remaining cell is tried at NULL,
+   then at the type's simplest constant).  The result is the shortest
+   repro this greedy search finds, not a global minimum; in practice a
+   handful of rows.
+
+   The predicate re-runs the whole matrix per attempt, so shrinking is
+   O(attempts * grid); generated cases are tiny (tens of rows), which
+   keeps this well under a second per discrepancy. *)
+
+module Relation = Relalg.Relation
+module Row = Relalg.Row
+module Value = Relalg.Value
+module Schema = Relalg.Schema
+
+let set_table (case : Repro.case) name rows : Repro.case =
+  {
+    case with
+    tables =
+      List.map
+        (fun (n, rel) ->
+          if n = name then (n, Relation.make (Relation.schema rel) rows)
+          else (n, rel))
+        case.tables;
+  }
+
+(* Remove [len] rows starting at [i]. *)
+let without rows i len =
+  List.filteri (fun j _ -> j < i || j >= i + len) rows
+
+(* ddmin over one table's rows: repeatedly try dropping chunks, halving the
+   chunk size whenever a full sweep removes nothing. *)
+let shrink_rows still_fails case name =
+  let rec sweep case chunk =
+    let rows = List.assoc name case.Repro.tables |> Relation.rows in
+    let n = List.length rows in
+    if n = 0 || chunk = 0 then case
+    else
+      let rec attempt case i progressed =
+        let rows = List.assoc name case.Repro.tables |> Relation.rows in
+        let n = List.length rows in
+        if i >= n then (case, progressed)
+        else
+          let candidate = set_table case name (without rows i chunk) in
+          if List.length (without rows i chunk) < n && still_fails candidate
+          then attempt candidate i true
+          else attempt case (i + chunk) progressed
+      in
+      let case, progressed = attempt case 0 false in
+      if progressed then sweep case chunk
+      else if chunk = 1 then case
+      else sweep case (max 1 (chunk / 2))
+  in
+  let n =
+    List.length (Relation.rows (List.assoc name case.Repro.tables))
+  in
+  sweep case (max 1 (n / 2))
+
+(* Cell-level simplification: NULL first (the smallest value), then the
+   type's zero.  Only replacements that keep the case failing survive. *)
+let simple_values (ty : Value.ty) =
+  Value.Null
+  ::
+  (match ty with
+  | Value.Tint -> [ Value.Int 0 ]
+  | Value.Tfloat -> [ Value.Float 0. ]
+  | Value.Tstr -> [ Value.Str "a" ]
+  | Value.Tdate -> [ Value.Date { year = 1980; month = 1; day = 1 } ])
+
+let shrink_cells still_fails case name =
+  let rel = List.assoc name case.Repro.tables in
+  let cols = Schema.columns (Relation.schema rel) in
+  let n_cols = List.length cols in
+  let rec over_cells case ri ci =
+    let rows = Relation.rows (List.assoc name case.Repro.tables) in
+    if ri >= List.length rows then case
+    else if ci >= n_cols then over_cells case (ri + 1) 0
+    else
+      let row = List.nth rows ri in
+      let current = Row.get row ci in
+      let ty = (List.nth cols ci).Schema.ty in
+      let replaced v =
+        let row' = Row.of_list (List.mapi (fun j x -> if j = ci then v else x)
+                                  (Row.to_list row)) in
+        set_table case name
+          (List.mapi (fun j r -> if j = ri then row' else r) rows)
+      in
+      let case =
+        match
+          List.find_opt
+            (fun v ->
+              Value.compare v current <> 0 && still_fails (replaced v))
+            (simple_values ty)
+        with
+        | Some v -> replaced v
+        | None -> case
+      in
+      over_cells case ri (ci + 1)
+  in
+  over_cells case 0 0
+
+(* The full pass: rows table by table, then cells, then rows once more
+   (simplified cells often unlock further row removal). *)
+let minimize ~still_fails (case : Repro.case) : Repro.case =
+  if not (still_fails case) then case
+  else
+    let names = List.map fst case.tables in
+    let pass case =
+      let case = List.fold_left (shrink_rows still_fails) case names in
+      List.fold_left (shrink_cells still_fails) case names
+    in
+    let case = pass case in
+    List.fold_left (shrink_rows still_fails) case names

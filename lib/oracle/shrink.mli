@@ -1,0 +1,6 @@
+(** Delta debugging over a failing case's table data: ddmin-style row
+    removal, then per-cell value simplification (NULL, then the type's
+    simplest constant), then rows again.  [still_fails] decides what
+    counts as failing — typically "some matrix cell disagrees". *)
+
+val minimize : still_fails:(Repro.case -> bool) -> Repro.case -> Repro.case

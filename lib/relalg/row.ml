@@ -41,6 +41,22 @@ let compare (a : t) (b : t) =
 
 let equal a b = compare a b = 0
 
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+(* Hash table keyed by rows under *semantic* equality ([Value.compare]:
+   Int/Float unify numerically, NULL equals itself) — the contract every
+   hash operator must share with the sort-based operators, which group via
+   [Value.compare].  OCaml's structural [Hashtbl] disagrees on mixed
+   Int/Float keys, so hash operators must use this instead. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)
+
 let byte_width (t : t) =
   Array.fold_left (fun acc v -> acc + Value.byte_width v) 0 t
 

@@ -25,5 +25,15 @@ val compare_on : int list -> t -> t -> int
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
+
+(** Hash consistent with {!equal} (which is [Value.compare]-based). *)
+val hash : t -> int
+
+(** Hash table keyed by rows under semantic equality: Int/Float keys unify
+    numerically and NULL equals itself, matching what the sort-based
+    operators do via [Value.compare].  All hash operators must use this
+    rather than the structural [Stdlib.Hashtbl]. *)
+module Tbl : Hashtbl.S with type key = t
+
 val byte_width : t -> int
 val pp : t Fmt.t

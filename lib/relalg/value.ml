@@ -100,6 +100,16 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Hash consistent with [compare]-equality, for hash-based operators: since
+   [Int 1] and [Float 1.0] compare equal, both hash through their float
+   value; NULL hashes to a constant (it equals itself under [compare]). *)
+let hash = function
+  | Null -> 0
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (date_key d)
+
 (* SQL comparison: Unknown as soon as either side is NULL. *)
 let cmp_sql a b =
   if is_null a || is_null b then None else Some (compare a b)

@@ -36,6 +36,10 @@ val compare : t -> t -> int
 (** Equality under the total order (NULL = NULL). *)
 val equal : t -> t -> bool
 
+(** Hash consistent with [compare]-equality: [Int 1] and [Float 1.0] hash
+    alike, NULL hashes to a constant.  For hash-based operators. *)
+val hash : t -> int
+
 (** SQL comparisons: [Unknown] when either operand is NULL. *)
 val eq_sql : t -> t -> Truth.t
 

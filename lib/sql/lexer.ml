@@ -35,6 +35,7 @@ type token =
   | STRING of string
   | EQ (* = *)
   | NE (* != or <> *)
+  | EQ_NULL (* <=> : null-safe equality *)
   | LT
   | LE
   | GT
@@ -82,6 +83,7 @@ let token_name = function
   | STRING s -> Printf.sprintf "string %S" s
   | EQ -> "'='"
   | NE -> "'!='"
+  | EQ_NULL -> "'<=>'"
   | LT -> "'<'"
   | LE -> "'<='"
   | GT -> "'>'"
@@ -188,6 +190,9 @@ let tokenize (src : string) : (token * position) list =
         go j ((STRING (Buffer.contents buf), pos i) :: acc)
       end
       else
+        let three = if i + 2 < n then String.sub src i 3 else "" in
+        if three = "<=>" then go (i + 3) ((EQ_NULL, pos i) :: acc)
+        else
         let two = if i + 1 < n then String.sub src i 2 else "" in
         match two with
         | "!=" | "<>" -> go (i + 2) ((NE, pos i) :: acc)

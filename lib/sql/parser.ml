@@ -147,6 +147,7 @@ let parse_cmp st =
     match peek st with
     | Lexer.EQ -> Eq
     | Lexer.NE -> Ne
+    | Lexer.EQ_NULL -> Eq_null
     | Lexer.LT -> Lt
     | Lexer.LE -> Le
     | Lexer.GT -> Gt

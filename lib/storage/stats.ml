@@ -67,7 +67,8 @@ let literal_selectivity (c : column_stats) (op : Sql.Ast.cmp)
     | Value.Null | Value.Str _ -> None
   in
   match op with
-  | Sql.Ast.Eq -> if c.distinct > 0 then 1. /. float_of_int c.distinct else 0.
+  | Sql.Ast.Eq | Sql.Ast.Eq_null ->
+      if c.distinct > 0 then 1. /. float_of_int c.distinct else 0.
   | Sql.Ast.Ne ->
       if c.distinct > 0 then 1. -. (1. /. float_of_int c.distinct) else 1.
   | Sql.Ast.Lt | Sql.Ast.Le | Sql.Ast.Gt | Sql.Ast.Ge -> (
@@ -81,7 +82,7 @@ let literal_selectivity (c : column_stats) (op : Sql.Ast.cmp)
                 match op with
                 | Sql.Ast.Lt | Sql.Ast.Le -> frac
                 | Sql.Ast.Gt | Sql.Ast.Ge -> 1. -. frac
-                | Sql.Ast.Eq | Sql.Ast.Ne -> assert false
+                | Sql.Ast.Eq | Sql.Ast.Ne | Sql.Ast.Eq_null -> assert false
               in
               (* keep estimates away from the degenerate 0/1 corners *)
               Float.min 0.95 (Float.max 0.05 f)

@@ -6,11 +6,12 @@
    nested-iteration semantics) and the benchmark sweeps (E7), where relation
    sizes scale until the inner relation no longer fits in the buffer pool.
 
-   Deliberate restrictions, mirroring the paper's setting (see DESIGN.md):
-   no NULLs are generated (NEST-JA2's final equality join and nested
-   iteration diverge on NULL correlation values — both in the paper and
-   here), and AVG is excluded from random aggregates (float summation order
-   differs between the two executors; AVG is covered by unit tests). *)
+   NULLs are opt-in: [parts]/[supply] take [null_pct] (default 0, the
+   paper's setting).  Since NEST-JA2's join-back uses the null-safe [<=>],
+   the transformed programs agree with nested iteration even on NULL join
+   columns, and the differential oracle generates them on purpose.  AVG is
+   excluded from random aggregates (float summation order differs between
+   the two executors; AVG is covered by unit tests). *)
 
 module Value = Relalg.Value
 module Relation = Relalg.Relation
@@ -23,18 +24,26 @@ let int_in (rng : rng) lo hi = lo + Random.State.int rng (hi - lo + 1)
 
 (* ---------------- data ------------------------------------------------ *)
 
+let maybe_null rng ~null_pct v =
+  if null_pct > 0 && int_in rng 1 100 <= null_pct then Value.Null else v
+
 (* PARTS(PNUM, QOH): [n] rows; PNUM drawn from [1, key_range] so duplicates
    appear when n > key_range (the §5.4 situation); QOH small so that COUNT
-   comparisons hit. *)
-let parts rng ~n ~key_range =
+   comparisons hit; [null_pct] percent NULLs in both columns (join column
+   and aggregate-compared column alike). *)
+let parts ?(null_pct = 0) rng ~n ~key_range =
   Relation.of_values ~rel:"PARTS"
     [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
     (List.init n (fun _ ->
-         [ Value.Int (int_in rng 1 key_range); Value.Int (int_in rng 0 4) ]))
+         [
+           maybe_null rng ~null_pct (Value.Int (int_in rng 1 key_range));
+           maybe_null rng ~null_pct (Value.Int (int_in rng 0 4));
+         ]))
 
 (* SUPPLY(PNUM, QUAN, SHIPDATE): dates spread around the restriction
-   boundary 1-1-80 so date predicates are selective. *)
-let supply rng ~n ~key_range =
+   boundary 1-1-80 so date predicates are selective; [null_pct] as in
+   [parts] (SHIPDATE NULLs exercise COUNT(col) vs COUNT(star)). *)
+let supply ?(null_pct = 0) rng ~n ~key_range =
   Relation.of_values ~rel:"SUPPLY"
     [ ("PNUM", Value.Tint); ("QUAN", Value.Tint); ("SHIPDATE", Value.Tdate) ]
     (List.init n (fun _ ->
@@ -42,9 +51,9 @@ let supply rng ~n ~key_range =
          let month = int_in rng 1 12 in
          let day = int_in rng 1 28 in
          [
-           Value.Int (int_in rng 1 key_range);
-           Value.Int (int_in rng 0 9);
-           Value.Date { year; month; day };
+           maybe_null rng ~null_pct (Value.Int (int_in rng 1 key_range));
+           maybe_null rng ~null_pct (Value.Int (int_in rng 0 9));
+           maybe_null rng ~null_pct (Value.Date { year; month; day });
          ]))
 
 (* Relations for the physical-operator equivalence properties: a nullable,
@@ -67,12 +76,12 @@ let catalog_of ?(buffer_pages = 8) ?(page_bytes = 64) tables =
   catalog
 
 (* A random PARTS/SUPPLY catalog. *)
-let parts_supply_catalog ?buffer_pages ?page_bytes rng ~n_parts ~n_supply
-    ~key_range =
+let parts_supply_catalog ?buffer_pages ?page_bytes ?null_pct rng ~n_parts
+    ~n_supply ~key_range =
   catalog_of ?buffer_pages ?page_bytes
     [
-      ("PARTS", parts rng ~n:n_parts ~key_range);
-      ("SUPPLY", supply rng ~n:n_supply ~key_range);
+      ("PARTS", parts ?null_pct rng ~n:n_parts ~key_range);
+      ("SUPPLY", supply ?null_pct rng ~n:n_supply ~key_range);
     ]
 
 (* ---------------- queries --------------------------------------------- *)

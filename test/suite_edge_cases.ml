@@ -134,7 +134,7 @@ let test_golden_q2_program () =
      SELECT PARTS.PNUM\n\
      FROM PARTS, TEMP3\n\
      WHERE PARTS.QOH = TEMP3.COUNT_SHIPDATE\n\
-     AND PARTS.PNUM = TEMP3.PNUM;"
+     AND PARTS.PNUM <=> TEMP3.PNUM;"
   in
   Alcotest.(check string) "paper-style program"
     (normalize expected)
@@ -171,6 +171,148 @@ let test_golden_explain_shape () =
   Alcotest.(check bool) "left-outer join for COUNT" true (has "left-outer");
   Alcotest.(check bool) "group agg" true (has "GroupAgg");
   Alcotest.(check bool) "filter pushed below" true (has "Filter")
+
+(* --- NULL / padding edge-case goldens ------------------------------------- *)
+
+let date y m dd = Value.Date { year = y; month = m; day = dd }
+
+(* A Kiessling-style catalog with NULL join columns on both sides. *)
+let null_bearing_catalog () =
+  Workload.Gen.catalog_of ~buffer_pages:8 ~page_bytes:128
+    [
+      ( "PARTS",
+        Relation.of_values ~rel:"PARTS"
+          [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
+          Value.[ [ Int 3; Int 1 ]; [ Null; Int 0 ]; [ Int 10; Int 1 ] ] );
+      ( "SUPPLY",
+        Relation.of_values ~rel:"SUPPLY"
+          [ ("PNUM", Value.Tint); ("QUAN", Value.Tint);
+            ("SHIPDATE", Value.Tdate) ]
+          Value.
+            [
+              [ Int 3; Int 4; date 1979 6 1 ];
+              [ Null; Int 9; date 1979 1 1 ];
+            ] );
+    ]
+
+let run_both catalog text =
+  let q = F.parse_analyzed catalog text in
+  let nested = Exec.Nested_iter.run catalog q in
+  let program =
+    Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
+  in
+  let transformed = Planner.run_program ~verify:true catalog program in
+  Planner.drop_temps catalog program;
+  (nested, transformed, program)
+
+(* The Kiessling count bug, NULL variant: the part with a NULL join column
+   matches no supply, so COUNT = 0 = QOH and the row qualifies.  The
+   transformed program only keeps it because the final join-back uses the
+   null-safe <=> (a strict = would drop the NULL group row). *)
+let test_count_bug_with_nulls () =
+  let catalog = null_bearing_catalog () in
+  let nested, transformed, program =
+    run_both catalog
+      "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM \
+       SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)"
+  in
+  let expected = Value.[ Null; Int 3 ] in
+  Alcotest.(check bool) "nested keeps the NULL part" true
+    (List.sort Value.compare (Relation.column_values nested "PNUM") = expected);
+  Alcotest.(check bool) "transformed agrees exactly" true
+    (Relation.equal_bag nested transformed);
+  let text = Program.to_string program in
+  let has needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "join-back is null-safe" true (has "<=>")
+
+(* SUM / AVG over a padding-only group stay NULL (only COUNT becomes 0),
+   so QOH = NULL is Unknown and the supply-less part is rejected. *)
+let test_sum_avg_padded_group () =
+  let catalog =
+    Workload.Gen.catalog_of ~buffer_pages:8 ~page_bytes:128
+      [
+        ( "PARTS",
+          Relation.of_values ~rel:"PARTS"
+            [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
+            Value.[ [ Int 1; Int 3 ]; [ Int 2; Int 0 ] ] );
+        ( "SUPPLY",
+          Relation.of_values ~rel:"SUPPLY"
+            [ ("PNUM", Value.Tint); ("QUAN", Value.Tint);
+              ("SHIPDATE", Value.Tdate) ]
+            Value.
+              [
+                [ Int 1; Int 1; date 1979 6 1 ];
+                [ Int 1; Int 2; date 1981 3 1 ];
+              ] );
+      ]
+  in
+  let nested, transformed, _ =
+    run_both catalog
+      "SELECT PNUM FROM PARTS WHERE QOH = (SELECT SUM(QUAN) FROM SUPPLY \
+       WHERE SUPPLY.PNUM = PARTS.PNUM)"
+  in
+  Alcotest.(check bool) "SUM: only part 1 (3 = 1+2) qualifies" true
+    (Relation.column_values nested "PNUM" = Value.[ Int 1 ]);
+  Alcotest.(check bool) "SUM: transformed agrees (part 2 not resurrected)"
+    true
+    (Relation.equal_bag nested transformed);
+  let nested, transformed, _ =
+    run_both catalog
+      "SELECT PNUM FROM PARTS WHERE QOH = (SELECT AVG(QUAN) FROM SUPPLY \
+       WHERE SUPPLY.PNUM = PARTS.PNUM)"
+  in
+  (* part 1: AVG = 1.5 <> 3; part 2: AVG over padding = NULL -> Unknown *)
+  Alcotest.(check int) "AVG: empty either way" 0 (Relation.cardinality nested);
+  Alcotest.(check bool) "AVG: transformed agrees" true
+    (Relation.equal_bag nested transformed)
+
+(* §5.3 duplicates with NULL duplicates: IN keeps each qualifying outer
+   occurrence; NULL correlation values never match.  The join-based merge
+   may change multiplicity (the documented §5.4 residue) but must agree as
+   a set and must not resurrect the NULL-key rows. *)
+let test_duplicates_with_null_dups () =
+  let catalog =
+    Workload.Gen.catalog_of ~buffer_pages:8 ~page_bytes:128
+      [
+        ( "PARTS",
+          Relation.of_values ~rel:"PARTS"
+            [ ("PNUM", Value.Tint); ("QOH", Value.Tint) ]
+            Value.
+              [
+                [ Int 1; Int 5 ]; [ Int 1; Int 5 ]; [ Null; Int 5 ];
+                [ Null; Int 5 ]; [ Int 2; Int 7 ];
+              ] );
+        ( "SUPPLY",
+          Relation.of_values ~rel:"SUPPLY"
+            [ ("PNUM", Value.Tint); ("QUAN", Value.Tint);
+              ("SHIPDATE", Value.Tdate) ]
+            Value.
+              [
+                [ Int 1; Int 5; date 1979 6 1 ];
+                [ Int 1; Int 5; date 1980 2 1 ];
+                [ Null; Int 5; date 1979 1 1 ];
+              ] );
+      ]
+  in
+  let nested, transformed, _ =
+    run_both catalog
+      "SELECT QOH FROM PARTS WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE \
+       SUPPLY.PNUM = PARTS.PNUM)"
+  in
+  Alcotest.(check bool) "nested: one 5 per qualifying occurrence" true
+    (Relation.column_values nested "QOH" = Value.[ Int 5; Int 5 ]);
+  Alcotest.(check bool) "transformed agrees as a set" true
+    (Relation.equal_set nested transformed);
+  Alcotest.(check bool) "NULL-key rows stay out" true
+    (List.for_all
+       (fun v -> Value.compare v (Value.Int 5) = 0)
+       (Relation.column_values transformed "QOH"))
 
 (* --- ORDER BY ------------------------------------------------------------- *)
 
@@ -275,6 +417,12 @@ let suites =
           test_golden_q2_program;
         Alcotest.test_case "relation rendering" `Quick test_golden_relation_pp;
         Alcotest.test_case "explain shape" `Quick test_golden_explain_shape;
+        Alcotest.test_case "count bug with NULLs" `Quick
+          test_count_bug_with_nulls;
+        Alcotest.test_case "SUM/AVG over padding-only group" `Quick
+          test_sum_avg_padded_group;
+        Alcotest.test_case "duplicates with NULL duplicates" `Quick
+          test_duplicates_with_null_dups;
       ] );
     ( "sql.order_by",
       [

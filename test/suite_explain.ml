@@ -88,7 +88,7 @@ let test_golden_type_ja () =
      main:\n\
     \  Project PARTS.PNUM  (cost=2.0 rows=1)\n\
     \    nested-loop inner join on PARTS.QOH = TEMP#3.COUNT_SHIPDATE AND \
-     PARTS.PNUM = TEMP#3.PNUM  (cost=2.0 rows=1)\n\
+     PARTS.PNUM <=> TEMP#3.PNUM  (cost=2.0 rows=1)\n\
     \      Scan PARTS  (cost=1.0 rows=3)\n\
     \      Scan TEMP#3  (cost=1.0 rows=3)\n"
     (Result.get_ok (Core.explain_query db F.query_q2))
@@ -130,7 +130,7 @@ let test_golden_analyze_ja () =
     \  Project PARTS.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
      time=_ms io=0/0/0)\n\
     \    nested-loop inner join on PARTS.QOH = TEMP#3.COUNT_SHIPDATE AND \
-     PARTS.PNUM = TEMP#3.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
+     PARTS.PNUM <=> TEMP#3.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
      time=_ms io=3/0/0)\n\
     \      Scan PARTS  (cost=1.0 rows=3)  (actual: rows=3 next=4 time=_ms \
      io=1/0/0)\n\

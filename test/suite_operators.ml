@@ -81,6 +81,99 @@ let prop_joins_outer =
   QCheck2.Test.make ~name:"nl = merge = hash (left-outer, NULL/dup keys)"
     ~count:200 seed_gen (trial_join ~outer:true)
 
+(* Null-safe (<=>) key columns: NULL must match NULL in every algorithm.
+   Reference: nested loop with an Eq_null theta. *)
+let trial_join_null_safe ~outer seed =
+  let rng = Random.State.make [| seed |] in
+  let left, right = join_inputs rng in
+  let pager = fresh_pager () in
+  let theta l r =
+    Exec.Eval.cmp_values Sql.Ast.Eq_null (Row.get l 0) (Row.get r 0)
+  in
+  let nl =
+    let right_heap = Heap_file.of_relation pager right in
+    bag
+      (Iterator.nested_loop_join ~outer_join:outer ~theta
+         (Iterator.of_relation left) right_heap)
+  in
+  let merge =
+    let sorted rel =
+      Iterator.sort pager ~key:[ 0 ] (Iterator.of_relation rel)
+    in
+    bag
+      (Iterator.merge_join ~outer_join:outer ~null_safe:[ true ]
+         ~left_key:[ 0 ] ~right_key:[ 0 ] (sorted left) (sorted right))
+  in
+  let hash =
+    bag
+      (Iterator.hash_join ~outer_join:outer ~null_safe:[ true ]
+         ~left_key:[ 0 ] ~right_key:[ 0 ] (Iterator.of_relation left)
+         (Iterator.of_relation right))
+  in
+  check_bags "null-safe merge vs nested-loop" merge nl
+  && check_bags "null-safe hash vs merge" hash merge
+
+let prop_joins_null_safe_inner =
+  QCheck2.Test.make ~name:"nl = merge = hash (<=> keys, inner)" ~count:200
+    seed_gen
+    (trial_join_null_safe ~outer:false)
+
+let prop_joins_null_safe_outer =
+  QCheck2.Test.make ~name:"nl = merge = hash (<=> keys, left-outer)"
+    ~count:200 seed_gen
+    (trial_join_null_safe ~outer:true)
+
+(* Mixed Int/Float join keys: Value.compare unifies 1 and 1.0, so the hash
+   paths must too (Value.hash sends Int through its float) — a structural
+   hash table would silently drop these matches. *)
+let float_keyed rng ~rel ~n ~key_range ~null_pct =
+  let key () =
+    if G.int_in rng 1 100 <= null_pct then Value.Null
+    else
+      let k = float_of_int (G.int_in rng 1 key_range) in
+      Value.Float (if Random.State.bool rng then k else k +. 0.5)
+  in
+  Relation.of_values ~rel
+    [ ("K", Value.Tfloat); ("V", Value.Tint) ]
+    (List.init n (fun _ -> [ key (); Value.Int (G.int_in rng 0 9) ]))
+
+let trial_join_mixed_types seed =
+  let rng = Random.State.make [| seed |] in
+  let key_range = G.int_in rng 1 5 in
+  let left =
+    G.keyed_relation rng ~rel:"L" ~n:(G.int_in rng 0 30) ~key_range
+      ~null_pct:15
+  in
+  let right =
+    float_keyed rng ~rel:"R" ~n:(G.int_in rng 0 30) ~key_range ~null_pct:15
+  in
+  let pager = fresh_pager () in
+  let theta l r = Exec.Eval.cmp_values Sql.Ast.Eq (Row.get l 0) (Row.get r 0) in
+  let nl =
+    let right_heap = Heap_file.of_relation pager right in
+    bag
+      (Iterator.nested_loop_join ~theta (Iterator.of_relation left) right_heap)
+  in
+  let merge =
+    let sorted rel =
+      Iterator.sort pager ~key:[ 0 ] (Iterator.of_relation rel)
+    in
+    bag
+      (Iterator.merge_join ~left_key:[ 0 ] ~right_key:[ 0 ] (sorted left)
+         (sorted right))
+  in
+  let hash =
+    bag
+      (Iterator.hash_join ~left_key:[ 0 ] ~right_key:[ 0 ]
+         (Iterator.of_relation left) (Iterator.of_relation right))
+  in
+  check_bags "mixed-type merge vs nested-loop" merge nl
+  && check_bags "mixed-type hash vs merge" hash merge
+
+let prop_joins_mixed_types =
+  QCheck2.Test.make ~name:"nl = merge = hash (Int vs Float keys)" ~count:200
+    seed_gen trial_join_mixed_types
+
 (* Hash dedup vs sort-based DISTINCT: same set of rows (the sorted one is
    already in order; the hash one preserves first-occurrence order). *)
 let trial_distinct seed =
@@ -260,6 +353,9 @@ let suites =
       [
         QCheck_alcotest.to_alcotest prop_joins_inner;
         QCheck_alcotest.to_alcotest prop_joins_outer;
+        QCheck_alcotest.to_alcotest prop_joins_null_safe_inner;
+        QCheck_alcotest.to_alcotest prop_joins_null_safe_outer;
+        QCheck_alcotest.to_alcotest prop_joins_mixed_types;
         QCheck_alcotest.to_alcotest prop_distinct;
         QCheck_alcotest.to_alcotest prop_group_agg;
       ] );

@@ -363,21 +363,72 @@ let test_extension_semantics () =
       "SELECT PNO FROM P WHERE WEIGHT < ANY (SELECT QTY FROM SP)";
       "SELECT PNO FROM P WHERE WEIGHT <= ANY (SELECT WEIGHT FROM P X WHERE \
        X.CITY = P.CITY)";
-      "SELECT PNO FROM P WHERE WEIGHT >= ALL (SELECT WEIGHT FROM P)";
+      (* the inner P needs its own alias: the guarded ALL rewrite inlines
+         the outer WEIGHT into the subquery and refuses when the alias
+         would be captured *)
+      "SELECT PNO FROM P WHERE WEIGHT >= ALL (SELECT WEIGHT FROM P X)";
       "SELECT PNO FROM P WHERE WEIGHT > ANY (SELECT WEIGHT FROM P)";
       "SELECT SNO FROM S WHERE SNO = ANY (SELECT SNO FROM SP)";
+      "SELECT PNO FROM P WHERE WEIGHT != ANY (SELECT WEIGHT FROM P X)";
     ]
   in
   let kim = F.kim_catalog () in
+  (* The Kim fixture relations are NULL-free, so the guarded COUNT forms
+     (range ALL, != ANY) are provable and exercised here. *)
+  let nullable ~rel:_ _ = false in
   List.iter
     (fun text ->
       let q = parse kim text in
-      let q' = Extensions.rewrite_query q in
+      let q' = Extensions.rewrite_query ~nullable q in
       let a = Exec.Nested_iter.run kim q in
       let b = Exec.Nested_iter.run kim q' in
       if not (Relation.equal_bag a b) then
         Alcotest.failf "extension rewrite changed semantics for %s" text)
     cases
+
+(* Golden forms of the two §8 rules the paper got wrong, safe vs verbatim:
+   != ANY must count satisfying items (NOT IN states the wrong condition
+   even NULL-free), range ALL must count violating items (MIN/MAX breaks
+   on empty or NULL-bearing inners). *)
+let test_extension_unsound_rule_golden () =
+  let kim = F.kim_catalog () in
+  let nullable ~rel:_ _ = false in
+  (* one line: the pretty-printer breaks clauses onto separate lines *)
+  let pp q =
+    String.concat " " (String.split_on_char '\n' (Sql.Pp.query_to_string q))
+  in
+  let q =
+    parse kim "SELECT PNO FROM P WHERE WEIGHT != ANY (SELECT WEIGHT FROM P X)"
+  in
+  Alcotest.(check string) "safe != ANY: guarded COUNT form"
+    "SELECT P.PNO FROM P WHERE 0 < (SELECT COUNT(*) FROM P X WHERE P.WEIGHT \
+     != X.WEIGHT)"
+    (pp (Extensions.rewrite_query ~nullable q));
+  Alcotest.(check string) "paper != ANY: NOT IN, verbatim"
+    "SELECT P.PNO FROM P WHERE P.WEIGHT NOT IN (SELECT X.WEIGHT FROM P X)"
+    (pp (Extensions.rewrite_query ~paper:true q));
+  let q2 =
+    parse kim "SELECT PNO FROM P WHERE WEIGHT >= ALL (SELECT WEIGHT FROM P X)"
+  in
+  Alcotest.(check string) "safe >= ALL: count violations"
+    "SELECT P.PNO FROM P WHERE 0 = (SELECT COUNT(*) FROM P X WHERE P.WEIGHT \
+     < X.WEIGHT)"
+    (pp (Extensions.rewrite_query ~nullable q2));
+  Alcotest.(check string) "paper >= ALL: MAX, verbatim"
+    "SELECT P.PNO FROM P WHERE P.WEIGHT >= (SELECT MAX(X.WEIGHT) FROM P X)"
+    (pp (Extensions.rewrite_query ~paper:true q2));
+  (* and the paper's != ANY rule is wrong on this very fixture: with two
+     or more distinct weights, every row satisfies != ANY but none
+     survives NOT IN *)
+  let reference = Exec.Nested_iter.run kim q in
+  let safe = Exec.Nested_iter.run kim (Extensions.rewrite_query ~nullable q) in
+  let paper =
+    Exec.Nested_iter.run kim (Extensions.rewrite_query ~paper:true q)
+  in
+  Alcotest.(check bool) "safe form agrees" true
+    (Relation.equal_bag reference safe);
+  Alcotest.(check bool) "paper form diverges here" false
+    (Relation.equal_bag reference paper)
 
 let test_extension_eq_all_unsupported () =
   let kim = F.kim_catalog () in
@@ -508,7 +559,8 @@ let test_nest_g_not_in_extension () =
   let text = "SELECT SNO FROM S WHERE SNO NOT IN (SELECT SNO FROM SP)" in
   let q = parse catalog text in
   let program =
-    Nest_g.transform ~rewrite_not_in:true
+    (* Kim's relations are NULL-free; the NOT IN guard needs the proof. *)
+    Nest_g.transform ~rewrite_not_in:true ~nullable:(fun ~rel:_ _ -> false)
       ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
       q
   in
@@ -892,6 +944,8 @@ let suites =
       [
         Alcotest.test_case "rewrite shapes" `Quick test_extension_rewrites_shapes;
         Alcotest.test_case "semantics preserved" `Quick test_extension_semantics;
+        Alcotest.test_case "unsound-rule goldens (safe vs paper)" `Quick
+          test_extension_unsound_rule_golden;
         Alcotest.test_case "= ALL unsupported" `Quick
           test_extension_eq_all_unsupported;
       ] );
