@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test lint fuzz-smoke bench bench-json doc clean
+.PHONY: all check test lint fuzz-smoke bench bench-json bench-smoke doc clean
 
 all:
 	dune build
@@ -22,7 +22,7 @@ lint:
 	done
 
 # Differential oracle smoke run (docs/ORACLE.md): fixed seed, 500 random
-# nested queries, each through the full 17-cell candidate matrix, plus a
+# nested queries, each through the full 33-cell candidate matrix (both execution engines), plus a
 # replay of the shrunk regression corpus.  Exits non-zero on any
 # discrepancy.
 fuzz-smoke:
@@ -34,9 +34,17 @@ bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf run: writes BENCH_perf.json (wall-clock, page I/O,
-# rows over the query grid plus the pager scaling microbench).
+# rows over the query grid under both execution engines, plus the pager
+# scaling microbench).
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# CI-speed structural run of the same code path: one small scale, fewer
+# reps, writes BENCH_perf.smoke.json and exits non-zero if the v3 schema
+# validation fails.  Not a perf artifact — it proves the bench harness and
+# both engines still run end to end.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
 
 # API docs (requires odoc; CI installs it).
 doc:

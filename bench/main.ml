@@ -581,6 +581,39 @@ let model () =
   Fmt.pr
     "(agreement within a few percent; residuals come from partial pages, LRU interference@.between concurrent scans, and the streamed pre-GROUP-BY join result.)@."
 
+(* ---------------- engine comparison ------------------------------------ *)
+
+(* Per-operator EXPLAIN ANALYZE of the hybrid pipeline under both engines
+   at the 10k-supply-row scale — where the vectorized wins (and any
+   regressions) actually live.  The "vec" section of the CLI. *)
+let vec () =
+  List.iter
+    (fun (kind, text) ->
+      List.iter
+        (fun engine ->
+          let catalog =
+            G.scaled_catalog ~buffer_pages:1024 ~page_bytes:256 ~seed:42
+              ~n_parts:100 ~supply_per_part:100 ()
+          in
+          let q = F.parse_analyzed catalog text in
+          let program =
+            Nest_g.transform
+              ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+              q
+          in
+          let t0 = Unix.gettimeofday () in
+          let text =
+            Planner.explain_text ~mode:Planner.Hybrid ~analyze:true ~engine
+              catalog program
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          Fmt.pr "@.=== %s / %s engine (%.2fms incl. instrumentation) ===@.%s@."
+            kind
+            (Exec.Plan.engine_name engine)
+            (wall *. 1e3) text)
+        [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
+    sweep_queries
+
 (* ---------------- bechamel timings ------------------------------------- *)
 
 let timing () =
@@ -672,6 +705,10 @@ let timing () =
 let time_io catalog run =
   let pager = Catalog.pager catalog in
   let before = Pager.snapshot pager in
+  (* Quiesce the GC so the catalog build's garbage isn't collected inside
+     the timed region — without this, major slices land in random reps and
+     the median wobbles by tens of percent. *)
+  Gc.full_major ();
   let t0 = Unix.gettimeofday () in
   let result = run () in
   let wall = Unix.gettimeofday () -. t0 in
@@ -686,77 +723,107 @@ let json_str s = Printf.sprintf "%S" s
 let json_f x = Printf.sprintf "%.6f" x
 let json_i i = string_of_int i
 
-(* One strategy execution on a fresh catalog. *)
-let run_strategy ~buffer_pages ~page_bytes ~n_parts ~supply_per_part text
-    strategy =
-  let catalog =
-    G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
-      ~supply_per_part ()
-  in
-  let q = F.parse_analyzed catalog text in
-  let run () =
-    match strategy with
-    | `Nested -> Exec.Sysr_iteration.run catalog q
-    | `Paper | `Hybrid ->
-        let mode =
-          match strategy with `Hybrid -> Planner.Hybrid | _ -> Planner.Paper1987
-        in
-        let program =
-          Nest_g.transform
-            ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
-            q
-        in
-        Planner.run_program ~mode catalog program
-  in
-  let result, wall, io = time_io catalog run in
-  (Relation.cardinality result, wall, io)
+(* Warm-up + median-of-k timing.  Every sample runs on a {e fresh} catalog
+   (cold pager, fresh temps — [run_program] registers temps under fixed
+   names, so reps must not share state); the parse and the NEST-G rewrite
+   happen outside the timed region, so a cell times planning + execution.
+   The warm-up rep absorbs allocator and code-path warmup; the median over
+   [reps] suppresses scheduler noise that a single-shot number is hostage
+   to. *)
+type sample = { s_rows : int; s_wall : float; s_io : Pager.stats }
 
-let strategy_json name (rows, wall, (io : Pager.stats)) =
+let median_sample samples =
+  let sorted =
+    List.sort (fun a b -> Float.compare a.s_wall b.s_wall) samples
+  in
+  List.nth sorted (List.length sorted / 2)
+
+let run_strategy ~warmup ~reps ~buffer_pages ~page_bytes ~n_parts
+    ~supply_per_part text strategy =
+  let once () =
+    let catalog =
+      G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
+        ~supply_per_part ()
+    in
+    let q = F.parse_analyzed catalog text in
+    let run =
+      match strategy with
+      | `Nested -> fun () -> Exec.Sysr_iteration.run catalog q
+      | `Transformed (mode, engine) ->
+          let program =
+            Nest_g.transform
+              ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+              q
+          in
+          fun () -> Planner.run_program ~mode ~engine catalog program
+    in
+    let result, wall, io = time_io catalog run in
+    { s_rows = Relation.cardinality result; s_wall = wall; s_io = io }
+  in
+  for _ = 1 to warmup do
+    ignore (once ())
+  done;
+  median_sample (List.init reps (fun _ -> once ()))
+
+let strategy_json ~name ~engine { s_rows; s_wall; s_io = io } =
   json_obj
     [
       ("name", json_str name);
-      ("wall_s", json_f wall);
+      ("engine", json_str engine);
+      ("wall_s", json_f s_wall);
       ("logical_reads", json_i io.Pager.logical_reads);
       ("physical_reads", json_i io.Pager.physical_reads);
       ("physical_writes", json_i io.Pager.physical_writes);
-      ("rows", json_i rows);
+      ("rows", json_i s_rows);
     ]
 
-(* The grid: 100 parts, SUPPLY scaling 500 -> 10000 rows.  The pool is
-   sized so the hybrid planner's hash paths are eligible at every scale;
-   nested iteration is skipped at the largest scales where its quadratic
-   page traffic dominates the whole run. *)
-let json_grid () =
+(* The grid: 100 parts, SUPPLY scaling 500 -> 10000 rows.  Each transformed
+   cell runs under both execution engines.  The pool is sized so the hybrid
+   planner's hash paths are eligible at every scale; nested iteration is
+   skipped at the largest scales where its quadratic page traffic dominates
+   the whole run. *)
+let json_grid ~scales ~warmup ~reps () =
   let buffer_pages = 1024 and page_bytes = 256 in
   let n_parts = 100 in
-  let scales = [ 5; 10; 25; 50; 100 ] in
   List.concat_map
     (fun (kind, text) ->
       List.map
         (fun supply_per_part ->
           let run s =
-            run_strategy ~buffer_pages ~page_bytes ~n_parts ~supply_per_part
-              text s
+            run_strategy ~warmup ~reps ~buffer_pages ~page_bytes ~n_parts
+              ~supply_per_part text s
           in
           let supply_rows = n_parts * supply_per_part in
           let nested =
             if supply_rows <= 2500 then Some (run `Nested) else None
           in
-          let paper = run `Paper in
-          let hybrid = run `Hybrid in
-          let _, paper_wall, _ = paper and _, hybrid_wall, _ = hybrid in
+          let paper = run (`Transformed (Planner.Paper1987, Exec.Plan.Tuple)) in
+          let paper_vec =
+            run (`Transformed (Planner.Paper1987, Exec.Plan.Vectorized))
+          in
+          let hybrid = run (`Transformed (Planner.Hybrid, Exec.Plan.Tuple)) in
+          let hybrid_vec =
+            run (`Transformed (Planner.Hybrid, Exec.Plan.Vectorized))
+          in
           let strategies =
             (match nested with
-             | Some r -> [ strategy_json "nested_iteration" r ]
-             | None -> [])
+            | Some r -> [ strategy_json ~name:"nested_iteration" ~engine:"tuple" r ]
+            | None -> [])
             @ [
-                strategy_json "transformed_paper1987" paper;
-                strategy_json "transformed_hybrid" hybrid;
+                strategy_json ~name:"transformed_paper1987" ~engine:"tuple" paper;
+                strategy_json ~name:"transformed_paper1987" ~engine:"vectorized"
+                  paper_vec;
+                strategy_json ~name:"transformed_hybrid" ~engine:"tuple" hybrid;
+                strategy_json ~name:"transformed_hybrid" ~engine:"vectorized"
+                  hybrid_vec;
               ]
           in
+          let hybrid_speedup = paper.s_wall /. hybrid.s_wall in
+          let vec_speedup = hybrid.s_wall /. hybrid_vec.s_wall in
           ( kind,
             supply_rows,
-            paper_wall /. hybrid_wall,
+            hybrid_speedup,
+            vec_speedup,
             json_obj
               [
                 ("query", json_str kind);
@@ -764,8 +831,12 @@ let json_grid () =
                 ("supply_rows", json_i supply_rows);
                 ("buffer_pages", json_i buffer_pages);
                 ("page_bytes", json_i page_bytes);
+                ("timing", json_obj
+                   [ ("warmup", json_i warmup); ("reps", json_i reps);
+                     ("stat", json_str "median") ]);
                 ("strategies", json_arr strategies);
-                ("hybrid_speedup_vs_paper", json_f (paper_wall /. hybrid_wall));
+                ("hybrid_speedup_vs_paper", json_f hybrid_speedup);
+                ("vectorized_speedup_vs_tuple", json_f vec_speedup);
               ] ))
         scales)
     sweep_queries
@@ -810,79 +881,148 @@ let json_pager_scaling () =
       ] )
 
 (* Per-operator breakdowns: one instrumented hybrid-mode run per query kind
-   (planner estimates via Optimizer.Estimate, actuals from the EXPLAIN
-   ANALYZE observer), at a fixed mid-grid scale.  Each segment's "plan" is
+   {e and per engine} (planner estimates via Optimizer.Estimate, actuals
+   from the EXPLAIN ANALYZE observer — per-batch amortized under the
+   vectorized engine), at a fixed mid-grid scale.  Each segment's "plan" is
    the Exec.Explain.render_json tree. *)
-let json_operator_breakdowns () =
+let json_operator_breakdowns ~supply_per_part () =
   let buffer_pages = 1024 and page_bytes = 256 in
-  let n_parts = 100 and supply_per_part = 25 in
-  List.map
+  let n_parts = 100 in
+  List.concat_map
     (fun (kind, text) ->
-      let catalog =
-        G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
-          ~supply_per_part ()
-      in
-      let q = F.parse_analyzed catalog text in
-      let program =
-        Nest_g.transform ~fresh:(fun () -> Catalog.fresh_temp_name catalog) q
-      in
-      let segs =
-        Planner.explain_plans ~mode:Planner.Hybrid ~analyze:true catalog
-          program
-      in
-      json_obj
-        [
-          ("query", json_str kind);
-          ("n_parts", json_i n_parts);
-          ("supply_rows", json_i (n_parts * supply_per_part));
-          ( "segments",
-            json_arr
-              (List.map
-                 (fun (s : Planner.explained) ->
-                   json_obj
-                     [
-                       ("label", json_str s.Planner.seg_label);
-                       ("plan", s.Planner.seg_json);
-                     ])
-                 segs) );
-        ])
+      List.map
+        (fun engine ->
+          let catalog =
+            G.scaled_catalog ~buffer_pages ~page_bytes ~seed:42 ~n_parts
+              ~supply_per_part ()
+          in
+          let q = F.parse_analyzed catalog text in
+          let program =
+            Nest_g.transform
+              ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+              q
+          in
+          let segs =
+            Planner.explain_plans ~mode:Planner.Hybrid ~analyze:true ~engine
+              catalog program
+          in
+          json_obj
+            [
+              ("query", json_str kind);
+              ("engine", json_str (Exec.Plan.engine_name engine));
+              ("n_parts", json_i n_parts);
+              ("supply_rows", json_i (n_parts * supply_per_part));
+              ( "segments",
+                json_arr
+                  (List.map
+                     (fun (s : Planner.explained) ->
+                       json_obj
+                         [
+                           ("label", json_str s.Planner.seg_label);
+                           ("plan", s.Planner.seg_json);
+                         ])
+                     segs) );
+            ])
+        [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
     sweep_queries
 
-let json_bench () =
-  let grid = json_grid () in
+(* Structural v3 schema check on the serialized document: every required
+   key must appear.  Substring-based — the emitter writes fixed key
+   strings, so this is exact enough to catch a key rename or a dropped
+   section without pulling in a JSON parser. *)
+let validate_v3 doc =
+  let required =
+    [
+      "\"schema_version\":3";
+      "\"queries\":";
+      "\"strategies\":";
+      "\"engine\":\"tuple\"";
+      "\"engine\":\"vectorized\"";
+      "\"timing\":";
+      "\"stat\":\"median\"";
+      "\"vectorized_speedup_vs_tuple\":";
+      "\"vectorized_speedup_10k\":";
+      "\"speedup_scale_supply_rows\":";
+      "\"hybrid_speedup_10k\":";
+      "\"pager_scaling\":";
+      "\"operator_breakdowns\":";
+      "\"rows_per_call\":";
+      "\"batches\":";
+    ]
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length doc in
+    let rec go i =
+      i + nl <= hl && (String.sub doc i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.filter (fun k -> not (contains k)) required
+
+let json_bench ~smoke () =
+  (* Smoke: one small scale, fewer reps — a CI-speed structural run of the
+     same code path; the full grid is the perf artifact. *)
+  let scales = if smoke then [ 5 ] else [ 5; 10; 25; 50; 100 ] in
+  let warmup = 1 in
+  let reps = if smoke then 3 else 9 in
+  let grid = json_grid ~scales ~warmup ~reps () in
   let flatness, pager_json = json_pager_scaling () in
-  (* Headline numbers: hybrid-vs-paper wall-clock speedup at the 10k scale. *)
-  let speedups_10k =
+  (* Headline numbers at the largest scale of this run (10k supply rows on
+     the full grid): hybrid-vs-paper, and vectorized-vs-tuple on the hybrid
+     plans. *)
+  let top_scale =
+    List.fold_left (fun m (_, rows, _, _, _) -> max m rows) 0 grid
+  in
+  let at_top f =
     List.filter_map
-      (fun (kind, supply_rows, speedup, _) ->
-        if supply_rows = 10_000 then
-          Some (kind, json_f speedup)
+      (fun (kind, supply_rows, hybrid_speedup, vec_speedup, _) ->
+        if supply_rows = top_scale then
+          Some (kind, json_f (f hybrid_speedup vec_speedup))
         else None)
       grid
   in
   let doc =
     json_obj
       [
-        (* v2: adds "operator_breakdowns"; all v1 keys unchanged *)
-        ("schema_version", json_i 2);
-        ("queries", json_arr (List.map (fun (_, _, _, j) -> j) grid));
+        (* v3: every transformed cell runs under both engines ("engine"
+           field), timing is median-of-k with warm-up ("timing" object),
+           per-cell "vectorized_speedup_vs_tuple", headline
+           "vectorized_speedup_10k", and operator_breakdowns carry one
+           entry per (query, engine).  v2 keys unchanged. *)
+        ("schema_version", json_i 3);
+        ("speedup_scale_supply_rows", json_i top_scale);
+        ("queries", json_arr (List.map (fun (_, _, _, _, j) -> j) grid));
         ("pager_scaling", pager_json);
-        ("hybrid_speedup_10k", json_obj speedups_10k);
-        ("operator_breakdowns", json_arr (json_operator_breakdowns ()));
+        ("hybrid_speedup_10k", json_obj (at_top (fun h _ -> h)));
+        ("vectorized_speedup_10k", json_obj (at_top (fun _ v -> v)));
+        ( "operator_breakdowns",
+          json_arr
+            (json_operator_breakdowns
+               ~supply_per_part:(if smoke then 5 else 25)
+               ()) );
       ]
   in
-  let oc = open_out "BENCH_perf.json" in
+  let path = if smoke then "BENCH_perf.smoke.json" else "BENCH_perf.json" in
+  let oc = open_out path in
   output_string oc doc;
   output_char oc '\n';
   close_out oc;
   List.iter
-    (fun (kind, rows, speedup, _) ->
-      Fmt.pr "%-8s %6d supply rows: hybrid %.2fx vs paper wall-clock@." kind
-        rows speedup)
+    (fun (kind, rows, hybrid_speedup, vec_speedup, _) ->
+      Fmt.pr
+        "%-8s %6d supply rows: hybrid %.2fx vs paper; vectorized %.2fx vs \
+         tuple@."
+        kind rows hybrid_speedup vec_speedup)
     grid;
   Fmt.pr "pager page-touch flatness (max/min ns over B=16..8192): %.2f@."
     flatness;
-  Fmt.pr "wrote BENCH_perf.json@."
+  Fmt.pr "wrote %s@." path;
+  match validate_v3 doc with
+  | [] -> Fmt.pr "schema v3 check: ok@."
+  | missing ->
+      Fmt.epr "schema v3 check FAILED; missing keys:@.";
+      List.iter (fun k -> Fmt.epr "  %s@." k) missing;
+      exit 1
 
 (* ---------------- driver ------------------------------------------------ *)
 
@@ -891,12 +1031,13 @@ let sections =
     ("fig1", fig1); ("sec74", sec74); ("bugs", bugs); ("figure2", figure2);
     ("sweep", sweep); ("ext", ext); ("strategies", strategies);
     ("buffers", buffers); ("indexes", indexes); ("projection", projection);
-    ("model", model); ("timing", timing);
+    ("model", model); ("vec", vec); ("timing", timing);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--json" args then json_bench ()
+  if List.mem "--json" args then json_bench ~smoke:false ()
+  else if List.mem "--smoke" args then json_bench ~smoke:true ()
   else
   let requested = if args <> [] then args else List.map fst sections in
   List.iter

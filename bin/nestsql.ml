@@ -88,6 +88,14 @@ let strategy =
   let doc = "Evaluation strategy: auto, nested, transformed." in
   Arg.(value & opt string "auto" & info [ "s"; "strategy" ] ~doc)
 
+let engine =
+  let doc =
+    "Execution engine for plan-based paths: tuple (Volcano iterators, the \
+     default and oracle reference) or vectorized (column-major batches of \
+     up to 1024 rows).  Same plans, same results."
+  in
+  Arg.(value & opt string "tuple" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
 let trace =
   let doc = "Print the NEST-G transformation steps." in
   Arg.(value & flag & info [ "trace" ] ~doc)
@@ -118,9 +126,14 @@ let die msg =
 
 let ok_or_die = function Ok v -> v | Error msg -> die msg
 
+let engine_of_flag s =
+  match Exec.Plan.engine_of_string s with
+  | Some e -> e
+  | None -> die ("unknown engine " ^ s ^ " (want tuple or vectorized)")
+
 (* ---------------- commands -------------------------------------------- *)
 
-let run_cmd load_dir fixture tables buffer_pages page_bytes strategy
+let run_cmd load_dir fixture tables buffer_pages page_bytes strategy engine
     exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy =
@@ -130,7 +143,10 @@ let run_cmd load_dir fixture tables buffer_pages page_bytes strategy
     | "transformed" -> Core.Transformed Optimizer.Planner.Auto
     | s -> die ("unknown strategy " ^ s)
   in
-  let e = ok_or_die (Core.run ~strategy ?trace:(trace_sink exec_trace) db sql) in
+  let engine = engine_of_flag engine in
+  let e =
+    ok_or_die (Core.run ~strategy ~engine ?trace:(trace_sink exec_trace) db sql)
+  in
   Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
 
 let compare_cmd load_dir fixture tables buffer_pages page_bytes sql =
@@ -164,12 +180,14 @@ let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
   let tree = ok_or_die (Core.query_tree db sql) in
   Fmt.pr "%a" Optimizer.Query_tree.pp tree
 
-let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze
+let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze engine
     exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let engine = engine_of_flag engine in
   Fmt.pr "%s@."
     (ok_or_die
-       (Core.explain_query ~analyze ?trace:(trace_sink exec_trace) db sql))
+       (Core.explain_query ~analyze ~engine ?trace:(trace_sink exec_trace) db
+          sql))
 
 (* ---------------- lint -------------------------------------------------- *)
 
@@ -433,7 +451,7 @@ let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 let cmds =
   [
     cmd "run" "Run a query (auto strategy by default)."
-      Term.(common (const run_cmd) $ strategy $ exec_trace $ sql);
+      Term.(common (const run_cmd) $ strategy $ engine $ exec_trace $ sql);
     cmd "compare" "Run both strategies; report results and page I/O."
       Term.(common (const compare_cmd) $ sql);
     cmd "classify" "Print Kim's nesting classification."
@@ -444,7 +462,7 @@ let cmds =
       Term.(common (const tree_cmd) $ sql);
     cmd "explain"
       "Print annotated physical plans; --analyze adds runtime metrics."
-      Term.(common (const explain_cmd) $ analyze $ exec_trace $ sql);
+      Term.(common (const explain_cmd) $ analyze $ engine $ exec_trace $ sql);
     (let json =
        let doc = "Emit diagnostics as a JSON array (schema in docs/LINT.md)." in
        Arg.(value & flag & info [ "json" ] ~doc)

@@ -159,18 +159,16 @@ type execution = {
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
-let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?trace ?on_fallback
-    db text : (execution, string) result =
+let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?engine ?trace
+    ?on_fallback db text : (execution, string) result =
   match parse db text with
   | Error _ as e -> e
   | Ok q -> (
       let pager = Catalog.pager db.catalog in
       (* one instrumentation session for the whole pipeline; nested
          iteration has no operator tree, so trace only covers plans *)
-      let observe =
-        Option.map
-          (fun t -> Exec.Explain.observer (Exec.Explain.session ~trace:t pager))
-          trace
+      let session =
+        Option.map (fun t -> Exec.Explain.session ~trace:t pager) trace
       in
       let run_nested () =
         let before = Pager.snapshot pager in
@@ -192,8 +190,8 @@ let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?trace ?on_fallback
         | Ok program -> (
             let before = Pager.snapshot pager in
             match
-              Optimizer.Planner.run_program ~force ?mode ~verify:true ?observe
-                db.catalog program
+              Optimizer.Planner.run_program ~force ?mode ~verify:true ?engine
+                ?session db.catalog program
             with
             | result ->
                 (* ORDER BY is presentation, not plan structure: the nested
@@ -230,14 +228,14 @@ let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?trace ?on_fallback
 let query db text : (Relation.t, string) result =
   Result.map (fun e -> e.result) (run db text)
 
-let explain_query ?mode ?(analyze = false) ?trace db text :
+let explain_query ?mode ?(analyze = false) ?engine ?trace db text :
     (string, string) result =
   match transform db text with
   | Error _ as e -> e
   | Ok program -> (
       match
-        Optimizer.Planner.explain_text ?mode ~analyze ?trace db.catalog
-          program
+        Optimizer.Planner.explain_text ?mode ~analyze ?engine ?trace
+          db.catalog program
       with
       | text -> Ok text
       | exception Optimizer.Planner.Planning_error msg -> Error msg)

@@ -84,7 +84,9 @@ type execution = {
     close; see [docs/EXPLAIN.md]).  [rewrite_not_in] and [mode] parameterize
     the transformed path exactly as {!transform} and
     {!Optimizer.Planner.run_program} do (the differential oracle sweeps
-    them).  Transformed programs are structurally verified
+    them).  [engine] selects tuple-at-a-time (default) or vectorized batch
+    execution for plan-based paths; nested iteration is tuple-only and
+    ignores it.  Transformed programs are structurally verified
     ({!Optimizer.Planner.verify_program}) before running; under [Auto] a
     refused program falls back to nested iteration and [on_fallback]
     receives the warning. *)
@@ -92,6 +94,7 @@ val run :
   ?strategy:strategy ->
   ?rewrite_not_in:bool ->
   ?mode:Optimizer.Planner.mode ->
+  ?engine:Exec.Plan.engine ->
   ?trace:(string -> unit) ->
   ?on_fallback:(string -> unit) ->
   db ->
@@ -106,10 +109,12 @@ val query : db -> string -> (Relation.t, string) result
     [~analyze:true] the program is also executed, instrumented, and each
     operator gains actual rows / [next] calls / wall-clock / page I/Os;
     [trace] receives one JSON line per operator event
-    (see [docs/EXPLAIN.md]). *)
+    (see [docs/EXPLAIN.md]).  [engine] as in {!run}; under the vectorized
+    engine actuals include [rows/call] > 1 and a [batches] count. *)
 val explain_query :
   ?mode:Optimizer.Planner.mode ->
   ?analyze:bool ->
+  ?engine:Exec.Plan.engine ->
   ?trace:(string -> unit) ->
   db ->
   string ->

@@ -1,0 +1,118 @@
+(* Column-major row chunks with selection vectors.  See batch.mli. *)
+
+open Relalg
+
+type col =
+  | Ints of { data : int array; nulls : bool array }
+  | Floats of { data : float array; nulls : bool array }
+  | Values of Value.t array
+
+type t = {
+  schema : Schema.t;
+  len : int;
+  cols : col array;
+  sel : int array option;
+}
+
+let max_rows = 240
+
+let live b = match b.sel with None -> b.len | Some s -> Array.length s
+
+let value b ~col ~row =
+  match b.cols.(col) with
+  | Ints { data; nulls } -> if nulls.(row) then Value.Null else Value.Int data.(row)
+  | Floats { data; nulls } ->
+      if nulls.(row) then Value.Null else Value.Float data.(row)
+  | Values vs -> vs.(row)
+
+let row b i =
+  Array.init (Array.length b.cols) (fun c -> value b ~col:c ~row:i)
+
+let live_indices b =
+  match b.sel with
+  | Some s -> Array.copy s
+  | None -> Array.init b.len (fun i -> i)
+
+let iter_live b f =
+  match b.sel with
+  | None ->
+      for i = 0 to b.len - 1 do
+        f i
+      done
+  | Some s -> Array.iter f s
+
+(* Transpose one column, preferring the unboxed representation the schema
+   type promises.  A single non-conforming value (e.g. [Float 1.] in a Tint
+   column) demotes the whole column to boxed [Values] so the batch round-trips
+   rows exactly — the vectorized engine must never change what a value
+   prints as. *)
+let col_of_rows (rows : Row.t array) n j (ty : Value.ty) : col =
+  let boxed () = Values (Array.init n (fun i -> rows.(i).(j))) in
+  match ty with
+  | Value.Tint -> (
+      let data = Array.make n 0 and nulls = Array.make n false in
+      try
+        for i = 0 to n - 1 do
+          match rows.(i).(j) with
+          | Value.Int x -> data.(i) <- x
+          | Value.Null -> nulls.(i) <- true
+          | _ -> raise_notrace Exit
+        done;
+        Ints { data; nulls }
+      with Exit -> boxed ())
+  | Value.Tfloat -> (
+      let data = Array.make n 0. and nulls = Array.make n false in
+      try
+        for i = 0 to n - 1 do
+          match rows.(i).(j) with
+          | Value.Float x -> data.(i) <- x
+          | Value.Null -> nulls.(i) <- true
+          | _ -> raise_notrace Exit
+        done;
+        Floats { data; nulls }
+      with Exit -> boxed ())
+  | Value.Tstr | Value.Tdate -> boxed ()
+
+let of_rows schema (rows : Row.t array) =
+  let n = Array.length rows in
+  let cols =
+    Array.of_list
+      (List.mapi (fun j (c : Schema.column) -> col_of_rows rows n j c.ty)
+         (Schema.columns schema))
+  in
+  { schema; len = n; cols; sel = None }
+
+(* Column-wise gather: allocate every row, then fill per column so the
+   representation dispatch happens once per column, not once per cell. *)
+let to_rows b =
+  let idxs = match b.sel with Some s -> s | None -> [||] in
+  let n = match b.sel with Some s -> Array.length s | None -> b.len in
+  let dense = b.sel = None in
+  let arity = Array.length b.cols in
+  let rows = Array.init n (fun _ -> Array.make arity Value.Null) in
+  Array.iteri
+    (fun c col ->
+      match col with
+      | Ints { data; nulls } ->
+          for k = 0 to n - 1 do
+            let i = if dense then k else idxs.(k) in
+            if not nulls.(i) then rows.(k).(c) <- Value.Int data.(i)
+          done
+      | Floats { data; nulls } ->
+          for k = 0 to n - 1 do
+            let i = if dense then k else idxs.(k) in
+            if not nulls.(i) then rows.(k).(c) <- Value.Float data.(i)
+          done
+      | Values vs ->
+          for k = 0 to n - 1 do
+            let i = if dense then k else idxs.(k) in
+            rows.(k).(c) <- vs.(i)
+          done)
+    b.cols;
+  Array.to_list rows
+
+let project b ~schema ~positions =
+  { b with schema; cols = Array.map (fun p -> b.cols.(p)) positions }
+
+let with_sel b sel = { b with sel = Some sel }
+let with_schema b schema = { b with schema }

@@ -1,0 +1,68 @@
+(** Column-major row chunks for the vectorized engine.
+
+    A batch holds up to {!max_rows} rows decoded column-wise: [Tint] /
+    [Tfloat] columns whose values are all of the declared type (or NULL)
+    are stored as unboxed [int array] / [float array] plus a null flag per
+    row, everything else falls back to a boxed {!Relalg.Value.t} array.
+    Rows are addressed by {e physical} index [0 .. len-1]; a selection
+    vector — a strictly increasing array of live physical indices — lets
+    filters and duplicate elimination narrow a batch without copying any
+    column data.  The representation follows the MonetDB/X100 design the
+    db2-ss24 notes describe (Chapters 7–8): tight per-column loops,
+    branch-poor selection, late materialization of rows. *)
+
+type col =
+  | Ints of { data : int array; nulls : bool array }
+  | Floats of { data : float array; nulls : bool array }
+  | Values of Relalg.Value.t array
+      (** boxed fallback: strings, dates, and mixed-type columns *)
+
+type t = {
+  schema : Relalg.Schema.t;
+  len : int;  (** physical rows in every column *)
+  cols : col array;
+  sel : int array option;
+      (** live physical row indices, strictly increasing; [None] = all *)
+}
+
+(** Batch capacity (rows).  Tuned to 240 so a freshly allocated [int array]
+    column (240 + header words) stays under the OCaml minor heap's
+    256-word direct-major-allocation threshold ([Max_young_wosize]):
+    at 1024 every column vector was allocated on the major heap and each
+    query paid for it in GC slices.  240 also keeps a full batch of a
+    few columns resident in L1. *)
+val max_rows : int
+
+(** Number of live (selected) rows. *)
+val live : t -> int
+
+(** Value at a {e physical} row index (caller is responsible for only
+    touching live rows). *)
+val value : t -> col:int -> row:int -> Relalg.Value.t
+
+(** Gather one physical row into a boxed {!Relalg.Row.t}. *)
+val row : t -> int -> Relalg.Row.t
+
+(** Live physical indices as a fresh dense array (safe to mutate). *)
+val live_indices : t -> int array
+
+(** Iterate the live rows in physical order. *)
+val iter_live : t -> (int -> unit) -> unit
+
+(** Transpose rows into columns, choosing unboxed representations where the
+    schema's column type holds exactly (non-conforming values demote the
+    column to [Values] — exact round-trip is never sacrificed). *)
+val of_rows : Relalg.Schema.t -> Relalg.Row.t array -> t
+
+(** Gather the live rows, in order. *)
+val to_rows : t -> Relalg.Row.t list
+
+(** Share columns: keep the columns at [positions] (in order) under a new
+    schema.  O(arity) — no row data is touched. *)
+val project : t -> schema:Relalg.Schema.t -> positions:int array -> t
+
+(** Replace the selection vector (indices must be increasing, live). *)
+val with_sel : t -> int array -> t
+
+(** Retag the schema (provenance rename); columns are shared. *)
+val with_schema : t -> Relalg.Schema.t -> t

@@ -84,6 +84,58 @@ let aggregate_values (a : agg) (column : Value.t list) : Value.t =
           in
           Value.Float (total /. float_of_int (List.length vs)))
 
+(* Incremental accumulators mirroring [aggregate_values]: COUNT(col)
+   ignores NULLs (COUNT-star does not); MAX/MIN/SUM/AVG ignore NULLs and
+   yield NULL on empty/all-NULL input.  Shared by both the tuple and the
+   vectorized group/aggregate operators so the engines cannot drift. *)
+type agg_state =
+  | S_count of { mutable n : int; star : bool }
+  | S_max of { mutable v : Value.t }
+  | S_min of { mutable v : Value.t }
+  | S_sum of { mutable v : Value.t }
+  | S_avg of { mutable total : float; mutable n : int }
+
+let fresh_state (fn : agg) =
+  match fn with
+  | Count_star -> S_count { n = 0; star = true }
+  | Count _ -> S_count { n = 0; star = false }
+  | Max _ -> S_max { v = Value.Null }
+  | Min _ -> S_min { v = Value.Null }
+  | Sum _ -> S_sum { v = Value.Null }
+  | Avg _ -> S_avg { total = 0.; n = 0 }
+
+let update_state st (v : Value.t) =
+  match st with
+  | S_count c -> if c.star || not (Value.is_null v) then c.n <- c.n + 1
+  | S_max m ->
+      if
+        (not (Value.is_null v))
+        && (Value.is_null m.v || Value.compare v m.v > 0)
+      then m.v <- v
+  | S_min m ->
+      if
+        (not (Value.is_null v))
+        && (Value.is_null m.v || Value.compare v m.v < 0)
+      then m.v <- v
+  | S_sum s ->
+      if not (Value.is_null v) then
+        s.v <- (if Value.is_null s.v then v else Value.add s.v v)
+  | S_avg a ->
+      if not (Value.is_null v) then (
+        match Value.to_float v with
+        | Some f ->
+            a.total <- a.total +. f;
+            a.n <- a.n + 1
+        | None -> invalid_arg "AVG over non-numeric value")
+
+let finish_state = function
+  | S_count c -> Value.Int c.n
+  | S_max m -> m.v
+  | S_min m -> m.v
+  | S_sum s -> s.v
+  | S_avg a ->
+      if a.n = 0 then Value.Null else Value.Float (a.total /. float_of_int a.n)
+
 (* ------------------------------------------------------------------ *)
 (* Scalars under an environment                                        *)
 (* ------------------------------------------------------------------ *)

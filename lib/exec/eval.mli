@@ -25,5 +25,20 @@ val quant_values :
     @raise Invalid_argument for AVG over non-numeric values. *)
 val aggregate_values : Sql.Ast.agg -> Relalg.Value.t list -> Relalg.Value.t
 
+(** Incremental aggregate accumulators, equivalent to {!aggregate_values}
+    fold-style: COUNT(col) ignores NULLs (COUNT-star does not);
+    MAX/MIN/SUM/AVG ignore NULLs and finish to NULL on empty/all-NULL
+    input.  Shared by the tuple and vectorized group operators. *)
+type agg_state =
+  | S_count of { mutable n : int; star : bool }
+  | S_max of { mutable v : Relalg.Value.t }
+  | S_min of { mutable v : Relalg.Value.t }
+  | S_sum of { mutable v : Relalg.Value.t }
+  | S_avg of { mutable total : float; mutable n : int }
+
+val fresh_state : Sql.Ast.agg -> agg_state
+val update_state : agg_state -> Relalg.Value.t -> unit
+val finish_state : agg_state -> Relalg.Value.t
+
 (** Evaluate a scalar under an environment.  @raise Env.Unbound *)
 val scalar : Env.t -> Sql.Ast.scalar -> Relalg.Value.t

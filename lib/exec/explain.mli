@@ -23,6 +23,12 @@ val session : ?trace:(string -> unit) -> Storage.Pager.t -> session
     [next]-call / wall-clock / page-I/O counting (and trace emission). *)
 val observer : session -> Plan.observer
 
+(** The observer to pass to {!Plan.execute_vec}.  Timer reads and pager
+    snapshots happen once per {e batch}, not per row, so instrumentation
+    overhead stays amortized; [rows] counts selected rows, [batches]
+    non-empty batches. *)
+val observer_vec : session -> Plan.vec_observer
+
 (** Metrics recorded for [node] during this session, if it was executed
     (the base-table scan under a nested-loop or index join is driven by the
     join itself and has none). *)

@@ -470,57 +470,11 @@ let group_agg_sorted ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t
 (* Hash aggregation (beyond the paper)                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Incremental per-group accumulators, mirroring [Eval.aggregate_values]:
-   COUNT(col) ignores NULLs (COUNT-star does not); MAX/MIN/SUM/AVG ignore
-   NULLs and yield NULL on empty/all-NULL input. *)
-type agg_state =
-  | S_count of { mutable n : int; star : bool }
-  | S_max of { mutable v : Value.t }
-  | S_min of { mutable v : Value.t }
-  | S_sum of { mutable v : Value.t }
-  | S_avg of { mutable total : float; mutable n : int }
-
-let fresh_state (spec : agg_spec) =
-  match spec.fn with
-  | Sql.Ast.Count_star -> S_count { n = 0; star = true }
-  | Sql.Ast.Count _ -> S_count { n = 0; star = false }
-  | Sql.Ast.Max _ -> S_max { v = Value.Null }
-  | Sql.Ast.Min _ -> S_min { v = Value.Null }
-  | Sql.Ast.Sum _ -> S_sum { v = Value.Null }
-  | Sql.Ast.Avg _ -> S_avg { total = 0.; n = 0 }
-
-let update_state st (v : Value.t) =
-  match st with
-  | S_count c -> if c.star || not (Value.is_null v) then c.n <- c.n + 1
-  | S_max m ->
-      if
-        (not (Value.is_null v))
-        && (Value.is_null m.v || Value.compare v m.v > 0)
-      then m.v <- v
-  | S_min m ->
-      if
-        (not (Value.is_null v))
-        && (Value.is_null m.v || Value.compare v m.v < 0)
-      then m.v <- v
-  | S_sum s ->
-      if not (Value.is_null v) then
-        s.v <- (if Value.is_null s.v then v else Value.add s.v v)
-  | S_avg a ->
-      if not (Value.is_null v) then (
-        match Value.to_float v with
-        | Some f ->
-            a.total <- a.total +. f;
-            a.n <- a.n + 1
-        | None -> invalid_arg "AVG over non-numeric value")
-
-let finish_state = function
-  | S_count c -> Value.Int c.n
-  | S_max m -> m.v
-  | S_min m -> m.v
-  | S_sum s -> s.v
-  | S_avg a ->
-      if a.n = 0 then Value.Null
-      else Value.Float (a.total /. float_of_int a.n)
+(* Per-group accumulators live in [Eval] (shared with the vectorized
+   engine, so the two cannot drift on NULL/empty-input rules). *)
+let fresh_state (spec : agg_spec) = Eval.fresh_state spec.fn
+let update_state = Eval.update_state
+let finish_state = Eval.finish_state
 
 (* Hash-based grouped aggregation: one pass over unsorted input, holding one
    accumulator row per group in memory — no external sort, no page I/O.
@@ -532,7 +486,7 @@ let hash_group_agg ~group_key ~(aggs : agg_spec list) ~schema (input : t) : t =
   let agg_arr = Array.of_list aggs in
   (* [Row.Tbl]: group keys must unify under [Value.compare] semantics (NULL
      is one group; Int/Float group numerically), matching the sorted path. *)
-  let groups : agg_state array Row.Tbl.t = Row.Tbl.create 256 in
+  let groups : Eval.agg_state array Row.Tbl.t = Row.Tbl.create 256 in
   let order = ref [] (* group keys, most recent first *) in
   let probe = Array.make (Array.length gk) Value.Null in
   let drain () =

@@ -14,6 +14,7 @@
 type t = {
   mutable rows : int; (* rows this operator produced *)
   mutable next_calls : int;
+  mutable batches : int; (* non-empty batches (vectorized engine only) *)
   mutable build_s : float; (* wall-clock building the iterator *)
   mutable next_s : float; (* wall-clock inside next(), inclusive *)
   mutable logical_reads : int; (* pager traffic, inclusive *)
@@ -25,6 +26,7 @@ let create () =
   {
     rows = 0;
     next_calls = 0;
+    batches = 0;
     build_s = 0.;
     next_s = 0.;
     logical_reads = 0;
@@ -38,6 +40,11 @@ let add_io m (s : Storage.Pager.stats) =
   m.physical_writes <- m.physical_writes + s.Storage.Pager.physical_writes
 
 let total_s m = m.build_s +. m.next_s
+
+(* Output rows per [next] call.  1.0 for tuple operators by construction;
+   ~[Batch.max_rows] for saturated vectorized operators — the direct
+   measure of how much per-call overhead batching amortizes. *)
+let rows_per_call m = float_of_int m.rows /. float_of_int (max 1 m.next_calls)
 
 let total_io m = m.logical_reads + m.physical_reads + m.physical_writes
 

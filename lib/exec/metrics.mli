@@ -8,7 +8,9 @@
 
 type t = {
   mutable rows : int;  (** rows this operator produced *)
-  mutable next_calls : int;  (** calls to the iterator's [next] *)
+  mutable next_calls : int;  (** calls to the iterator's [next]/[next_batch] *)
+  mutable batches : int;
+      (** non-empty batches produced (vectorized engine; 0 under tuple) *)
   mutable build_s : float;
       (** wall-clock seconds building the iterator (eager work: sorts,
           materializations, hash builds) *)
@@ -26,6 +28,10 @@ val add_io : t -> Storage.Pager.stats -> unit
 
 (** [build_s + next_s]. *)
 val total_s : t -> float
+
+(** Output rows per [next] call (1.0 for tuple operators; up to
+    [Batch.max_rows] for vectorized ones). *)
+val rows_per_call : t -> float
 
 (** Inclusive logical + physical reads + writes. *)
 val total_io : t -> int

@@ -113,16 +113,155 @@ let compile_conjunction schema preds : Row.t -> Truth.t =
   fun row -> Truth.conjunction (List.map (fun f -> f row) compiled)
 
 (* ------------------------------------------------------------------ *)
+(* Join compilation (shared by both engines)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Column references, null-safety flags and residual predicates compile
+   identically whichever engine runs the join; these helpers take the
+   already-built input schemas so the tuple and vectorized executors can
+   share every semantic decision. *)
+
+(* Split an equi-joinable condition list: equality conditions become keys
+   (with their [<=>] null-safety flags), the rest fold into the residual.
+   Returns [(left_key, right_key, null_safe, residual_fn, joined_schema)].
+   @raise Plan_error when no equality condition exists. *)
+let equi_join_parts ~method_name (lschema : Schema.t) (rschema : Schema.t)
+    ~cond ~residual =
+  let eq_cond, rest =
+    List.partition (fun (_, op, _) -> op = Eq || op = Eq_null) cond
+  in
+  if eq_cond = [] then
+    errf "%s join requires at least one equality condition" method_name;
+  let null_safe = List.map (fun (_, op, _) -> op = Eq_null) eq_cond in
+  let left_key = List.map (fun (lc, _, _) -> find_col lschema lc) eq_cond in
+  let right_key = List.map (fun (_, _, rc) -> find_col rschema rc) eq_cond in
+  let joined_schema = Schema.append lschema rschema in
+  let rest_fns =
+    List.map
+      (fun (lc, op, rc) ->
+        let li = find_col lschema lc and ri = find_col rschema rc in
+        fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
+      rest
+  in
+  (* No residual function at all when every condition became a key: the
+     executors' pure-equi fast paths must not pay per-match row
+     materialization for an always-true check. *)
+  let residual_opt =
+    if rest = [] && residual = [] then None
+    else
+      let residual_fn = compile_conjunction joined_schema residual in
+      Some
+        (fun l r ->
+          Truth.and_
+            (Truth.conjunction (List.map (fun f -> f l r) rest_fns))
+            (residual_fn (Row.append l r)))
+  in
+  (left_key, right_key, null_safe, residual_opt, joined_schema)
+
+(* Right side of an index join: a base-table scan with an index on the
+   single equality condition's column. *)
+let index_nl_join catalog ~outer_join ~cond ~residual ~right
+    (lit : Iterator.t) : Iterator.t =
+  let name, rschema =
+    match right with
+    | Scan name -> (name, Schema.rename_rel (Catalog.schema catalog name) name)
+    | Rename (alias, Scan name) ->
+        (name, Schema.rename_rel (Catalog.schema catalog name) alias)
+    | _ -> errf "index join requires a base-table scan on the right"
+  in
+  let lc, rc =
+    match cond with
+    | [ (lc, Eq, rc) ] -> (lc, rc)
+    | _ -> errf "index join requires exactly one equality condition"
+  in
+  let key_col = find_col rschema rc in
+  let index =
+    match Catalog.index_on catalog name ~key_col with
+    | Some idx -> idx
+    | None -> errf "no index on %s for the join column" name
+  in
+  let left_key = find_col lit.Iterator.schema lc in
+  let joined_schema = Schema.append lit.Iterator.schema rschema in
+  let residual_fn = compile_conjunction joined_schema residual in
+  let residual l r = residual_fn (Row.append l r) in
+  let it =
+    Iterator.index_nested_loop_join ~outer_join ~residual ~left_key ~index
+      ~right_schema:rschema lit
+  in
+  { it with Iterator.schema = joined_schema }
+
+(* Tuple nested loops: the inner side must be stored so it can be
+   re-scanned; scans use the stored heap, other subtrees are materialized
+   first via [right_iter] (their pages written and the writes counted). *)
+let nested_loop_join catalog ~outer_join ~cond ~residual ~right
+    ~(right_iter : unit -> Iterator.t) (lit : Iterator.t) : Iterator.t =
+  let pager = Catalog.pager catalog in
+  let right_heap, rschema =
+    match right with
+    | Scan name ->
+        let heap = Catalog.heap catalog name in
+        (heap, Schema.rename_rel (Storage.Heap_file.schema heap) name)
+    | Rename (alias, Scan name) ->
+        let heap = Catalog.heap catalog name in
+        (heap, Schema.rename_rel (Storage.Heap_file.schema heap) alias)
+    | _ ->
+        let heap = Iterator.materialize pager (right_iter ()) in
+        (heap, Storage.Heap_file.schema heap)
+  in
+  let joined_schema = Schema.append lit.Iterator.schema rschema in
+  let cond_fns =
+    List.map
+      (fun (lc, op, rc) ->
+        let li = find_col lit.Iterator.schema lc and ri = find_col rschema rc in
+        fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
+      cond
+  in
+  let residual_fn = compile_conjunction joined_schema residual in
+  let theta l r =
+    Truth.and_
+      (Truth.conjunction (List.map (fun f -> f l r) cond_fns))
+      (residual_fn (Row.append l r))
+  in
+  let it = Iterator.nested_loop_join ~outer_join ~theta lit right_heap in
+  { it with Iterator.schema = joined_schema }
+
+(* Group keys and aggregate specs against the input schema. *)
+let group_agg_parts (ischema : Schema.t) ~group_by ~aggs =
+  let group_key = List.map (find_col ischema) group_by in
+  let agg_specs =
+    List.map
+      (fun { fn; _ } ->
+        { Iterator.fn; arg = Option.map (find_col ischema) (agg_arg fn) })
+      aggs
+  in
+  (group_key, agg_specs)
+
+(* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Which executor runs a plan.  [Tuple] is the Volcano engine — the default
+   and the oracle's reference; [Vectorized] pulls column-major batches
+   through [Vec], falling back to the tuple operators (through adapters)
+   for sorts and non-hash joins. *)
+type engine = Tuple | Vectorized
+
+let engine_name = function Tuple -> "tuple" | Vectorized -> "vectorized"
+
+let engine_of_string = function
+  | "tuple" -> Some Tuple
+  | "vectorized" | "vec" -> Some Vectorized
+  | _ -> None
 
 (* An observer intercepts the construction of every operator: it receives
    the plan node and a thunk that builds its iterator (including the eager
    work of sorts and hash builds), and returns the iterator to use — usually
    the built one wrapped with instrumentation.  [Explain] uses this to
    attach per-operator metrics and trace events without the executor knowing
-   about either. *)
+   about either.  [vec_observer] is the same protocol for the vectorized
+   engine. *)
 type observer = node -> (unit -> Iterator.t) -> Iterator.t
+type vec_observer = node -> (unit -> Vec.t) -> Vec.t
 
 let rec execute ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
   match observe with
@@ -155,152 +294,37 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
       let lit = execute ?observe catalog left in
       let outer_join = kind = Left_outer in
       match method_ with
-      | Index_nl ->
-          (* Right side must be a base-table scan with an index on the
-             single equality condition's column. *)
-          let name, rschema =
-            match right with
-            | Scan name ->
-                (name, Schema.rename_rel (Catalog.schema catalog name) name)
-            | Rename (alias, Scan name) ->
-                (name, Schema.rename_rel (Catalog.schema catalog name) alias)
-            | _ -> errf "index join requires a base-table scan on the right"
-          in
-          let lc, rc =
-            match cond with
-            | [ (lc, Eq, rc) ] -> (lc, rc)
-            | _ -> errf "index join requires exactly one equality condition"
-          in
-          let key_col = find_col rschema rc in
-          let index =
-            match Catalog.index_on catalog name ~key_col with
-            | Some idx -> idx
-            | None -> errf "no index on %s for the join column" name
-          in
-          let left_key = find_col lit.schema lc in
-          let joined_schema = Schema.append lit.schema rschema in
-          let residual_fn = compile_conjunction joined_schema residual in
-          let residual l r = residual_fn (Row.append l r) in
-          let it =
-            Iterator.index_nested_loop_join ~outer_join ~residual ~left_key
-              ~index ~right_schema:rschema lit
-          in
-          { it with schema = joined_schema }
+      | Index_nl -> index_nl_join catalog ~outer_join ~cond ~residual ~right lit
       | Nested_loop ->
-          (* The inner side must be stored so it can be re-scanned: scans use
-             the stored heap; other subtrees are materialized first (their
-             pages are written and the writes counted). *)
-          let right_heap, rschema =
-            match right with
-            | Scan name ->
-                let heap = Catalog.heap catalog name in
-                (heap, Schema.rename_rel (Storage.Heap_file.schema heap) name)
-            | Rename (alias, Scan name) ->
-                let heap = Catalog.heap catalog name in
-                (heap, Schema.rename_rel (Storage.Heap_file.schema heap) alias)
-            | _ ->
-                let heap = Iterator.materialize pager (execute ?observe catalog right) in
-                (heap, Storage.Heap_file.schema heap)
-          in
-          let joined_schema = Schema.append lit.schema rschema in
-          let cond_fns =
-            List.map
-              (fun (lc, op, rc) ->
-                let li = find_col lit.schema lc
-                and ri = find_col rschema rc in
-                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
-              cond
-          in
-          let residual_fn = compile_conjunction joined_schema residual in
-          let theta l r =
-            Truth.and_
-              (Truth.conjunction (List.map (fun f -> f l r) cond_fns))
-              (residual_fn (Row.append l r))
-          in
-          let it =
-            Iterator.nested_loop_join ~outer_join ~theta lit right_heap
-          in
-          { it with schema = joined_schema }
+          nested_loop_join catalog ~outer_join ~cond ~residual ~right
+            ~right_iter:(fun () -> execute ?observe catalog right)
+            lit
       | Hash ->
           let rit = execute ?observe catalog right in
-          let eq_cond, rest =
-            List.partition (fun (_, op, _) -> op = Eq || op = Eq_null) cond
-          in
-          if eq_cond = [] then
-            errf "hash join requires at least one equality condition";
-          let null_safe = List.map (fun (_, op, _) -> op = Eq_null) eq_cond in
-          let lit_schema = lit.schema in
-          let left_key =
-            List.map (fun (lc, _, _) -> find_col lit_schema lc) eq_cond
-          in
-          let right_key =
-            List.map (fun (_, _, rc) -> find_col rit.schema rc) eq_cond
-          in
-          let joined_schema = Schema.append lit.schema rit.schema in
-          let rest_fns =
-            List.map
-              (fun (lc, op, rc) ->
-                let li = find_col lit.schema lc
-                and ri = find_col rit.schema rc in
-                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
-              rest
-          in
-          let residual_fn = compile_conjunction joined_schema residual in
-          let residual l r =
-            Truth.and_
-              (Truth.conjunction (List.map (fun f -> f l r) rest_fns))
-              (residual_fn (Row.append l r))
+          let left_key, right_key, null_safe, residual, joined_schema =
+            equi_join_parts ~method_name:"hash" lit.schema rit.schema ~cond
+              ~residual
           in
           let it =
-            Iterator.hash_join ~outer_join ~null_safe ~residual ~left_key
+            Iterator.hash_join ~outer_join ~null_safe ?residual ~left_key
               ~right_key lit rit
           in
           { it with schema = joined_schema }
       | Sort_merge ->
           let rit = execute ?observe catalog right in
-          let eq_cond, rest =
-            List.partition (fun (_, op, _) -> op = Eq || op = Eq_null) cond
-          in
-          if eq_cond = [] then
-            errf "sort-merge join requires at least one equality condition";
-          let null_safe = List.map (fun (_, op, _) -> op = Eq_null) eq_cond in
-          let left_key = List.map (fun (lc, _, _) -> find_col lit.schema lc) eq_cond in
-          let right_key =
-            List.map (fun (_, _, rc) -> find_col rit.schema rc) eq_cond
-          in
-          let joined_schema = Schema.append lit.schema rit.schema in
-          let rest_fns =
-            List.map
-              (fun (lc, op, rc) ->
-                let li = find_col lit.schema lc
-                and ri = find_col rit.schema rc in
-                fun l r -> Eval.cmp_values op (Row.get l li) (Row.get r ri))
-              rest
-          in
-          let residual_fn = compile_conjunction joined_schema residual in
-          let residual l r =
-            Truth.and_
-              (Truth.conjunction (List.map (fun f -> f l r) rest_fns))
-              (residual_fn (Row.append l r))
+          let left_key, right_key, null_safe, residual, joined_schema =
+            equi_join_parts ~method_name:"sort-merge" lit.schema rit.schema
+              ~cond ~residual
           in
           let it =
-            Iterator.merge_join ~outer_join ~null_safe ~residual ~left_key
+            Iterator.merge_join ~outer_join ~null_safe ?residual ~left_key
               ~right_key lit rit
           in
           { it with schema = joined_schema })
   | Group_agg { group_by; aggs; input } | Hash_group_agg { group_by; aggs; input }
     ->
       let it = execute ?observe catalog input in
-      let group_key = List.map (find_col it.schema) group_by in
-      let agg_specs =
-        List.map
-          (fun { fn; _ } ->
-            {
-              Iterator.fn;
-              arg = Option.map (find_col it.schema) (agg_arg fn);
-            })
-          aggs
-      in
+      let group_key, agg_specs = group_agg_parts it.schema ~group_by ~aggs in
       let schema = output_schema catalog node in
       let agg_op =
         match node with
@@ -309,8 +333,109 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
       in
       agg_op ~group_key ~aggs:agg_specs ~schema it
 
+(* The vectorized executor: hot operators (scan, filter, project, hash
+   distinct/join/group) run batch-at-a-time through [Vec]; sort-based
+   operators and the nested-loop family run the tuple implementation
+   between adapters, so any plan executes under either engine. *)
+let rec execute_vec ?observe (catalog : Catalog.t) (node : node) : Vec.t =
+  match observe with
+  | None -> execute_vec_node ?observe catalog node
+  | Some f -> f node (fun () -> execute_vec_node ?observe catalog node)
+
+and execute_vec_node ?observe (catalog : Catalog.t) (node : node) : Vec.t =
+  let pager = Catalog.pager catalog in
+  match node with
+  | Scan name ->
+      let v = Vec.scan (Catalog.heap catalog name) in
+      Vec.with_schema v (Schema.rename_rel v.Vec.schema name)
+  | Rename (alias, input) ->
+      let v = execute_vec ?observe catalog input in
+      Vec.with_schema v (Schema.rename_rel v.Vec.schema alias)
+  | Filter (preds, input) ->
+      let v = execute_vec ?observe catalog input in
+      Vec.filter ~pred:(Vec.compile_conjunction v.Vec.schema preds) v
+  | Project (cols, Join { method_ = Hash; kind; cond; residual; left; right })
+    when observe = None ->
+      (* Late materialization: fuse the projection into the hash join's
+         gather so dropped columns are never copied.  Skipped under
+         [observe] to keep per-node EXPLAIN ANALYZE accounting intact. *)
+      let lv = execute_vec ?observe catalog left in
+      let rv = execute_vec ?observe catalog right in
+      let left_key, right_key, null_safe, residual, joined_schema =
+        equi_join_parts ~method_name:"hash" lv.Vec.schema rv.Vec.schema ~cond
+          ~residual
+      in
+      let idxs = List.map (find_col joined_schema) cols in
+      Vec.hash_join ~outer_join:(kind = Left_outer) ~null_safe ?residual
+        ~project:idxs ~left_key ~right_key lv rv
+  | Project (cols, input) ->
+      let v = execute_vec ?observe catalog input in
+      let idxs = List.map (find_col v.Vec.schema) cols in
+      Vec.project
+        ~schema:(Schema.project v.Vec.schema idxs)
+        ~positions:(Array.of_list idxs) v
+  | Distinct input ->
+      Vec.of_tuple
+        (Iterator.distinct pager (Vec.to_tuple (execute_vec ?observe catalog input)))
+  | Hash_distinct input -> Vec.hash_distinct (execute_vec ?observe catalog input)
+  | Sort (cols, input) ->
+      let v = execute_vec ?observe catalog input in
+      Vec.of_tuple
+        (Iterator.sort pager
+           ~key:(List.map (find_col v.Vec.schema) cols)
+           (Vec.to_tuple v))
+  | Join { method_; kind; cond; residual; left; right } -> (
+      let lv = execute_vec ?observe catalog left in
+      let outer_join = kind = Left_outer in
+      match method_ with
+      | Index_nl ->
+          Vec.of_tuple
+            (index_nl_join catalog ~outer_join ~cond ~residual ~right
+               (Vec.to_tuple lv))
+      | Nested_loop ->
+          Vec.of_tuple
+            (nested_loop_join catalog ~outer_join ~cond ~residual ~right
+               ~right_iter:(fun () ->
+                 Vec.to_tuple (execute_vec ?observe catalog right))
+               (Vec.to_tuple lv))
+      | Hash ->
+          let rv = execute_vec ?observe catalog right in
+          let left_key, right_key, null_safe, residual, _joined_schema =
+            equi_join_parts ~method_name:"hash" lv.Vec.schema rv.Vec.schema
+              ~cond ~residual
+          in
+          Vec.hash_join ~outer_join ~null_safe ?residual ~left_key ~right_key
+            lv rv
+      | Sort_merge ->
+          let rv = execute_vec ?observe catalog right in
+          let left_key, right_key, null_safe, residual, joined_schema =
+            equi_join_parts ~method_name:"sort-merge" lv.Vec.schema
+              rv.Vec.schema ~cond ~residual
+          in
+          let it =
+            Iterator.merge_join ~outer_join ~null_safe ?residual ~left_key
+              ~right_key (Vec.to_tuple lv) (Vec.to_tuple rv)
+          in
+          Vec.of_tuple { it with Iterator.schema = joined_schema })
+  | Group_agg { group_by; aggs; input } ->
+      let v = execute_vec ?observe catalog input in
+      let group_key, agg_specs = group_agg_parts v.Vec.schema ~group_by ~aggs in
+      let schema = output_schema catalog node in
+      Vec.of_tuple
+        (Iterator.group_agg_sorted ~group_key ~aggs:agg_specs ~schema
+           (Vec.to_tuple v))
+  | Hash_group_agg { group_by; aggs; input } ->
+      let v = execute_vec ?observe catalog input in
+      let group_key, agg_specs = group_agg_parts v.Vec.schema ~group_by ~aggs in
+      let schema = output_schema catalog node in
+      Vec.hash_group_agg ~group_key ~aggs:agg_specs ~schema v
+
 let run ?observe catalog node : Relalg.Relation.t =
   Iterator.to_relation (execute ?observe catalog node)
+
+let run_vec ?observe catalog node : Relalg.Relation.t =
+  let v = execute_vec ?observe catalog node in
+  Relalg.Relation.make v.Vec.schema (Vec.to_rows v)
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN                                                             *)

@@ -43,12 +43,27 @@ exception Plan_error of string
 (** Schema the node produces.  @raise Plan_error / Catalog.Unknown_table *)
 val output_schema : Storage.Catalog.t -> node -> Relalg.Schema.t
 
+(** Which executor runs a plan: [Tuple] is the Volcano engine — the default
+    and the differential oracle's reference; [Vectorized] pulls column-major
+    {!Batch.t} chunks through {!Vec}, falling back to the tuple operators
+    (through adapters) for sorts and non-hash joins, so any plan executes
+    under either engine with identical results. *)
+type engine = Tuple | Vectorized
+
+val engine_name : engine -> string
+
+(** Parses ["tuple"], ["vectorized"] (or ["vec"]). *)
+val engine_of_string : string -> engine option
+
 (** An observer intercepts every operator's construction: it receives the
     plan node and a thunk building its iterator (including eager work —
     sorts, materializations, hash builds) and returns the iterator to use,
     usually the built one wrapped with instrumentation.  {!Explain} supplies
-    one to collect per-operator {!Metrics} without the executor knowing. *)
+    one to collect per-operator {!Metrics} without the executor knowing.
+    [vec_observer] is the same protocol for the vectorized engine. *)
 type observer = node -> (unit -> Iterator.t) -> Iterator.t
+
+type vec_observer = node -> (unit -> Vec.t) -> Vec.t
 
 (** Execute to an iterator (page traffic through the catalog's pager).
     Sort-merge joins require plan-inserted [Sort]s (or born-sorted inputs);
@@ -57,8 +72,17 @@ type observer = node -> (unit -> Iterator.t) -> Iterator.t
     @raise Plan_error on malformed plans. *)
 val execute : ?observe:observer -> Storage.Catalog.t -> node -> Iterator.t
 
+(** Execute batch-at-a-time.  Same plan contract and semantics as
+    {!execute}; scans, filters, projections and the hash operators run
+    vectorized, everything else through tuple adapters. *)
+val execute_vec : ?observe:vec_observer -> Storage.Catalog.t -> node -> Vec.t
+
 (** [execute] and collect the rows. *)
 val run : ?observe:observer -> Storage.Catalog.t -> node -> Relalg.Relation.t
+
+(** [execute_vec] and collect the rows. *)
+val run_vec :
+  ?observe:vec_observer -> Storage.Catalog.t -> node -> Relalg.Relation.t
 
 (** One-line operator description, without children. *)
 val label : node -> string

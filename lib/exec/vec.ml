@@ -1,0 +1,993 @@
+(* Batch-at-a-time physical operators.
+
+   The design follows the MonetDB/X100 lineage: pull ~1024-row column
+   chunks, evaluate predicates as tight loops over unboxed arrays with
+   selection-vector compaction, amortize all per-call bookkeeping over the
+   batch.  Every semantic decision (3VL comparisons, NULL handling in keys
+   and aggregates, Int/Float numeric unification) delegates to the same
+   [Eval]/[Value] rules the tuple engine uses, so the two engines can only
+   differ in speed, never in results — the differential oracle enforces
+   this over the whole query matrix. *)
+
+module Value = Relalg.Value
+module Truth = Relalg.Truth
+module Schema = Relalg.Schema
+module Row = Relalg.Row
+module Heap_file = Storage.Heap_file
+open Sql.Ast
+
+type t = { schema : Schema.t; next_batch : unit -> Batch.t option }
+
+let schema t = t.schema
+
+(* ------------------------------------------------------------------ *)
+(* Adapters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let of_tuple (it : Iterator.t) : t =
+  let next_batch () =
+    match it.Iterator.next () with
+    | None -> None
+    | Some first ->
+        let buf = Array.make Batch.max_rows first in
+        let n = ref 1 in
+        (try
+           while !n < Batch.max_rows do
+             match it.Iterator.next () with
+             | Some r ->
+                 buf.(!n) <- r;
+                 incr n
+             | None -> raise_notrace Exit
+           done
+         with Exit -> ());
+        let rows = if !n = Batch.max_rows then buf else Array.sub buf 0 !n in
+        Some (Batch.of_rows it.Iterator.schema rows)
+  in
+  { schema = it.Iterator.schema; next_batch }
+
+let to_tuple (v : t) : Iterator.t =
+  let cur = ref None (* (batch, live indices, cursor) *) in
+  let rec next () =
+    match !cur with
+    | Some (b, idxs, pos) when !pos < Array.length idxs ->
+        let i = idxs.(!pos) in
+        incr pos;
+        Some (Batch.row b i)
+    | _ -> (
+        match v.next_batch () with
+        | None -> None
+        | Some b ->
+            cur := Some (b, Batch.live_indices b, ref 0);
+            next ())
+  in
+  { Iterator.schema = v.schema; next }
+
+let to_rows (v : t) =
+  let rec go acc =
+    match v.next_batch () with
+    | None -> List.concat (List.rev acc)
+    | Some b -> go (Batch.to_rows b :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Scan: page-to-batch decode                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scan (heap : Heap_file.t) : t =
+  let schema = Heap_file.schema heap in
+  let next_page = Heap_file.scan_pages heap in
+  let page = ref [||] and off = ref 0 in
+  let rec fill buf n =
+    if n >= Batch.max_rows then n
+    else
+      let avail = Array.length !page - !off in
+      if avail > 0 then begin
+        let take = min avail (Batch.max_rows - n) in
+        Array.blit !page !off buf n take;
+        off := !off + take;
+        fill buf (n + take)
+      end
+      else
+        match next_page () with
+        | None -> n
+        | Some p ->
+            page := p;
+            off := 0;
+            fill buf n
+  in
+  let next_batch () =
+    let buf = Array.make Batch.max_rows [||] in
+    let n = fill buf 0 in
+    if n = 0 then None
+    else
+      Some
+        (Batch.of_rows schema (if n = Batch.max_rows then buf else Array.sub buf 0 n))
+  in
+  { schema; next_batch }
+
+let with_schema (v : t) schema =
+  {
+    schema;
+    next_batch =
+      (fun () -> Option.map (fun b -> Batch.with_schema b schema) (v.next_batch ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Predicates: selection-vector compaction                             *)
+(* ------------------------------------------------------------------ *)
+
+type sel_filter = Batch.t -> int array -> int -> int
+
+(* Branch-poor compaction step: always store the candidate index, advance
+   the write cursor only when it qualifies. *)
+let[@inline] store sel k i keep =
+  sel.(!k) <- i;
+  k := !k + Bool.to_int keep
+
+let find_col schema (c : col_ref) =
+  match c.table with
+  | Some rel -> Schema.find schema ~rel c.column
+  | None -> Schema.find schema c.column
+
+let flip_cmp = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Eq_null -> Eq_null
+
+(* Specialized loops over unboxed columns.  For strict comparisons a NULL
+   operand yields Unknown (row dropped) — the null check folds into [keep].
+   [Eq_null] against a non-NULL literal behaves like [Eq] here (the
+   NULL-literal case takes the generic path).  Float comparisons go through
+   [Float.compare] so they agree exactly with [Value.compare]'s total
+   order. *)
+let int_lit_loop op (data : int array) (nulls : bool array) x sel n =
+  let k = ref 0 in
+  (match op with
+  | Eq | Eq_null ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) = x)
+      done
+  | Ne ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) <> x)
+      done
+  | Lt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) < x)
+      done
+  | Le ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) <= x)
+      done
+  | Gt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) > x)
+      done
+  | Ge ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && data.(i) >= x)
+      done);
+  !k
+
+let float_lit_loop op (data : float array) (nulls : bool array) x sel n =
+  let k = ref 0 in
+  (match op with
+  | Eq | Eq_null ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x = 0)
+      done
+  | Ne ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x <> 0)
+      done
+  | Lt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x < 0)
+      done
+  | Le ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x <= 0)
+      done
+  | Gt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x > 0)
+      done
+  | Ge ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not nulls.(i)) && Float.compare data.(i) x >= 0)
+      done);
+  !k
+
+let int_col_loop op (da : int array) (na : bool array) (db : int array)
+    (nb : bool array) sel n =
+  let k = ref 0 in
+  (match op with
+  | Eq | Eq_null ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) = db.(i))
+      done
+  | Ne ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) <> db.(i))
+      done
+  | Lt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) < db.(i))
+      done
+  | Le ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) <= db.(i))
+      done
+  | Gt ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) > db.(i))
+      done
+  | Ge ->
+      for si = 0 to n - 1 do
+        let i = sel.(si) in
+        store sel k i ((not (na.(i) || nb.(i))) && da.(i) >= db.(i))
+      done);
+  !k
+
+(* Boxed fallback: still one tight loop per batch, no per-row closures or
+   truth-list allocation (unlike the tuple engine's conjunction). *)
+let generic_lit_loop op b ci (v : Value.t) sel n =
+  let k = ref 0 in
+  for si = 0 to n - 1 do
+    let i = sel.(si) in
+    store sel k i
+      (Eval.cmp_values op (Batch.value b ~col:ci ~row:i) v = Truth.True)
+  done;
+  !k
+
+let generic_col_loop op b ca cb sel n =
+  let k = ref 0 in
+  for si = 0 to n - 1 do
+    let i = sel.(si) in
+    store sel k i
+      (Eval.cmp_values op
+         (Batch.value b ~col:ca ~row:i)
+         (Batch.value b ~col:cb ~row:i)
+      = Truth.True)
+  done;
+  !k
+
+let col_lit ci op (v : Value.t) : sel_filter =
+ fun b sel n ->
+  match (b.Batch.cols.(ci), v) with
+  | Batch.Ints { data; nulls }, Value.Int x -> int_lit_loop op data nulls x sel n
+  | Batch.Floats { data; nulls }, Value.Float x -> float_lit_loop op data nulls x sel n
+  | _ -> generic_lit_loop op b ci v sel n
+
+let col_col ca op cb : sel_filter =
+ fun b sel n ->
+  match (b.Batch.cols.(ca), b.Batch.cols.(cb)) with
+  | Batch.Ints { data = da; nulls = na }, Batch.Ints { data = db; nulls = nb } ->
+      int_col_loop op da na db nb sel n
+  | _ -> generic_col_loop op b ca cb sel n
+
+let compile_predicate schema (p : predicate) : sel_filter =
+  match p with
+  | Cmp (Col a, op, Lit v) -> col_lit (find_col schema a) op v
+  | Cmp (Lit v, op, Col a) -> col_lit (find_col schema a) (flip_cmp op) v
+  | Cmp (Col a, op, Col b) -> col_col (find_col schema a) op (find_col schema b)
+  | Cmp (Lit u, op, Lit v) ->
+      let keep = Eval.cmp_values op u v = Truth.True in
+      fun _ _ n -> if keep then n else 0
+  | Cmp_outer _ | Cmp_subq _ | In_subq _ | Not_in_subq _ | Exists _
+  | Not_exists _ | Quant _ ->
+      invalid_arg "Vec.compile_predicate: nested predicate"
+
+(* Mixed-mode conjunction: the first conjunct sees the dense selection,
+   later conjuncts only the survivors. *)
+let compile_conjunction schema preds : sel_filter =
+  let fs = List.map (compile_predicate schema) preds in
+  fun b sel n -> List.fold_left (fun n f -> if n = 0 then 0 else f b sel n) n fs
+
+let filter ~(pred : sel_filter) (input : t) : t =
+  let rec next_batch () =
+    match input.next_batch () with
+    | None -> None
+    | Some b ->
+        let sel = Batch.live_indices b in
+        let n = pred b sel (Array.length sel) in
+        if n = 0 then next_batch ()
+        else Some (Batch.with_sel b (Array.sub sel 0 n))
+  in
+  { schema = input.schema; next_batch }
+
+let project ~schema ~positions (input : t) : t =
+  {
+    schema;
+    next_batch =
+      (fun () ->
+        Option.map (fun b -> Batch.project b ~schema ~positions) (input.next_batch ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hash keys: int-class normalization                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Unboxed hash tables need a key routing that is a function of the
+   [Value.compare]-equality *class*, not of the representation: [Int 5] and
+   [Float 5.0] compare equal, so both must normalize to the machine int 5.
+   The normalization is only defined where Int/Float equality is exact —
+   inside ±2^53 — and everything else (NULL, strings, dates, huge or
+   fractional numbers) routes to the boxed [Row.Tbl] path, whose
+   equality/hash are [Value.compare]-consistent by construction.  Routing
+   is exclusive and identical on build and probe, so the split into two
+   tables never loses a match. *)
+let exact_bound = 9007199254740992 (* 2^53 *)
+
+let int_key : Value.t -> int option = function
+  | Value.Int x -> if x > -exact_bound && x < exact_bound then Some x else None
+  | Value.Float f ->
+      if
+        Float.is_integer f
+        && f > -9.007199254740992e15
+        && f < 9.007199254740992e15
+      then Some (int_of_float f)
+      else None
+  | _ -> None
+
+(* Int-class key of column [c] at physical row [i], without boxing when the
+   column is stored unboxed. *)
+let col_int_key (c : Batch.col) i : int option =
+  match c with
+  | Batch.Ints { data; nulls } ->
+      if nulls.(i) then None
+      else
+        let x = data.(i) in
+        if x > -exact_bound && x < exact_bound then Some x else None
+  | Batch.Floats { data; nulls } ->
+      if nulls.(i) then None else int_key (Value.Float data.(i))
+  | Batch.Values vs -> int_key vs.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Hash distinct                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let hash_distinct (input : t) : t =
+  let arity = Schema.arity input.schema in
+  let ints : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen_null = ref false in
+  let gen : unit Row.Tbl.t = Row.Tbl.create 64 in
+  let fresh_int k = if Hashtbl.mem ints k then false else (Hashtbl.add ints k (); true) in
+  let fresh_gen r = if Row.Tbl.mem gen r then false else (Row.Tbl.add gen r (); true) in
+  let keep1 b i =
+    (* single-column dedup: route by value class *)
+    let v = Batch.value b ~col:0 ~row:i in
+    if Value.is_null v then
+      if !seen_null then false
+      else begin
+        seen_null := true;
+        true
+      end
+    else
+      match int_key v with Some k -> fresh_int k | None -> fresh_gen [| v |]
+  in
+  let rec next_batch () =
+    match input.next_batch () with
+    | None -> None
+    | Some b ->
+        let sel = Batch.live_indices b in
+        let n = Array.length sel in
+        let k = ref 0 in
+        (if arity = 1 then
+           match b.Batch.cols.(0) with
+           | Batch.Ints { data; nulls } ->
+               (* unboxed fast path: every value is Int-class or NULL *)
+               for si = 0 to n - 1 do
+                 let i = sel.(si) in
+                 let fresh =
+                   if nulls.(i) then
+                     if !seen_null then false
+                     else begin
+                       seen_null := true;
+                       true
+                     end
+                   else
+                     let x = data.(i) in
+                     if x > -exact_bound && x < exact_bound then fresh_int x
+                     else fresh_gen [| Value.Int x |]
+                 in
+                 store sel k i fresh
+               done
+           | _ ->
+               for si = 0 to n - 1 do
+                 let i = sel.(si) in
+                 store sel k i (keep1 b i)
+               done
+         else
+           for si = 0 to n - 1 do
+             let i = sel.(si) in
+             store sel k i (fresh_gen (Batch.row b i))
+           done);
+        if !k = 0 then next_batch ()
+        else Some (Batch.with_sel b (Array.sub sel 0 !k))
+  in
+  { schema = input.schema; next_batch }
+
+(* ------------------------------------------------------------------ *)
+(* Hash join                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Which bucket family a key row belongs to.  [K1]/[K2] are the unboxed
+   one- and two-int-class-key fast paths; [Kgen] is the boxed catch-all
+   (including null-safe NULLs); [Kdrop] marks keys with a NULL in a strict
+   column, which can never match. *)
+type key_route = K1 of int | K2 of int * int | Kgen of Row.t | Kdrop
+
+(* NULL test at a physical row without boxing the value. *)
+let col_is_null (c : Batch.col) i =
+  match c with
+  | Batch.Ints { nulls; _ } -> nulls.(i)
+  | Batch.Floats { nulls; _ } -> nulls.(i)
+  | Batch.Values vs -> Value.is_null vs.(i)
+
+let route_key (b : Batch.t) (key : int array) (strict : bool array) i : key_route =
+  let nk = Array.length key in
+  let rec strict_null j =
+    j < nk
+    && ((strict.(j) && col_is_null b.Batch.cols.(key.(j)) i)
+       || strict_null (j + 1))
+  in
+  if strict_null 0 then Kdrop
+  else if nk = 1 then
+    match col_int_key b.Batch.cols.(key.(0)) i with
+    | Some k -> K1 k
+    | None -> Kgen [| Batch.value b ~col:key.(0) ~row:i |]
+  else if nk = 2 then
+    match
+      (col_int_key b.Batch.cols.(key.(0)) i, col_int_key b.Batch.cols.(key.(1)) i)
+    with
+    | Some k1, Some k2 -> K2 (k1, k2)
+    | _ ->
+        Kgen
+          [| Batch.value b ~col:key.(0) ~row:i; Batch.value b ~col:key.(1) ~row:i |]
+  else Kgen (Array.init nk (fun j -> Batch.value b ~col:key.(j) ~row:i))
+
+(* Growable int buffer for the probe's match lists. *)
+type ivec = { mutable buf : int array; mutable n : int }
+
+let ivec_make () = { buf = Array.make 1024 0; n = 0 }
+
+let ivec_reserve v extra =
+  let need = v.n + extra in
+  if need > Array.length v.buf then begin
+    let cap = ref (2 * Array.length v.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let a = Array.make !cap 0 in
+    Array.blit v.buf 0 a 0 v.n;
+    v.buf <- a
+  end
+
+let[@inline] ivec_push v x =
+  ivec_reserve v 1;
+  v.buf.(v.n) <- x;
+  v.n <- v.n + 1
+
+(* Build-side rows are addressed by a packed reference — batch id in the
+   high bits, physical row index in the low [ref_bits] — into the retained
+   right-hand batches.  The probe never materializes a [Row.t] on the match
+   path: it accumulates (left index, right ref) pairs and then gathers the
+   output {e column-wise} straight from the source columns, staying unboxed
+   whenever the source column is unboxed.  A negative ref marks the outer
+   join's NULL padding. *)
+let ref_bits = 31
+let ref_mask = (1 lsl ref_bits) - 1
+
+(* Flat chained hash table for int-class join keys: open-addressing slots
+   (linear probing) hold the key and the head of that key's chain; chains
+   thread through a [nexts] array parallel to the pushed refs.  Insert and
+   lookup allocate nothing per row — the stdlib [Hashtbl] costs (key
+   boxing, bucket conses, option allocs) are what this replaces.  Two-key
+   joins store both components; single-key joins use [k2 = 0]. *)
+type flat = {
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable ks1 : int array;
+  mutable ks2 : int array;
+  mutable heads : int array; (* head position in refs, -1 = empty slot *)
+  mutable used : int; (* occupied slots *)
+  frefs : ivec; (* packed build refs, in insertion order *)
+  fnexts : ivec; (* chain links: previous head at insertion time *)
+}
+
+let flat_make () =
+  {
+    mask = 255;
+    ks1 = Array.make 256 0;
+    ks2 = Array.make 256 0;
+    heads = Array.make 256 (-1);
+    used = 0;
+    frefs = ivec_make ();
+    fnexts = ivec_make ();
+  }
+
+let[@inline] flat_hash k1 k2 =
+  let h = (k1 * 0x9E3779B1) lxor (k2 * 0x85EBCA77) in
+  h lxor (h lsr 16)
+
+(* Find the slot for (k1,k2): either its occupied slot or the empty slot
+   where it belongs. *)
+let rec flat_slot t k1 k2 s =
+  if t.heads.(s) < 0 || (t.ks1.(s) = k1 && t.ks2.(s) = k2) then s
+  else flat_slot t k1 k2 ((s + 1) land t.mask)
+
+let flat_grow t =
+  let old_k1 = t.ks1 and old_k2 = t.ks2 and old_heads = t.heads in
+  let cap = 2 * (t.mask + 1) in
+  t.mask <- cap - 1;
+  t.ks1 <- Array.make cap 0;
+  t.ks2 <- Array.make cap 0;
+  t.heads <- Array.make cap (-1);
+  Array.iteri
+    (fun s head ->
+      if head >= 0 then begin
+        let k1 = old_k1.(s) and k2 = old_k2.(s) in
+        let s' = flat_slot t k1 k2 (flat_hash k1 k2 land t.mask) in
+        t.ks1.(s') <- k1;
+        t.ks2.(s') <- k2;
+        t.heads.(s') <- head
+      end)
+    old_heads
+
+let flat_add t k1 k2 r =
+  if 4 * t.used > 3 * (t.mask + 1) then flat_grow t;
+  let s = flat_slot t k1 k2 (flat_hash k1 k2 land t.mask) in
+  let pos = t.frefs.n in
+  ivec_push t.frefs r;
+  if t.heads.(s) < 0 then begin
+    t.ks1.(s) <- k1;
+    t.ks2.(s) <- k2;
+    t.used <- t.used + 1;
+    ivec_push t.fnexts (-1)
+  end
+  else ivec_push t.fnexts t.heads.(s);
+  t.heads.(s) <- pos
+
+(* Head of the chain for (k1,k2), or -1. *)
+let[@inline] flat_find t k1 k2 =
+  let s = flat_slot t k1 k2 (flat_hash k1 k2 land t.mask) in
+  t.heads.(s)
+
+let hash_join ?(outer_join = false) ?(null_safe : bool list option)
+    ?(residual : (Row.t -> Row.t -> Truth.t) option)
+    ?(project : int list option) ~left_key ~right_key (left : t) (right : t) :
+    t =
+  let joined_schema = Schema.append left.schema right.schema in
+  let l_arity = Schema.arity left.schema in
+  let r_arity = Schema.arity right.schema in
+  (* Late materialization: with [project] the join only ever gathers the
+     surviving output columns — dropped columns are never copied. *)
+  let out_positions =
+    match project with
+    | None -> Array.init (l_arity + r_arity) Fun.id
+    | Some ps -> Array.of_list ps
+  in
+  let schema =
+    match project with
+    | None -> joined_schema
+    | Some ps -> Schema.project joined_schema ps
+  in
+  let joined_tys =
+    Array.of_list
+      (List.map
+         (fun (c : Schema.column) -> c.Schema.ty)
+         (Schema.columns joined_schema))
+  in
+  let lk = Array.of_list left_key and rk = Array.of_list right_key in
+  let nk = Array.length lk in
+  let strict =
+    match null_safe with
+    | None -> Array.make nk true
+    | Some flags -> Array.of_list (List.map not flags)
+  in
+  (* Build: int-class keys chain through the flat table; everything boxed
+     (strings, dates, null-safe NULLs, huge numbers) goes to per-key ref
+     lists under [Value.compare] semantics.  Both store refs newest-first;
+     probes emit in build order. *)
+  let ft = flat_make () in
+  let tg : int list ref Row.Tbl.t = Row.Tbl.create 64 in
+  let acc = ref [] and nbatches = ref 0 in
+  let batches = ref [||] in
+  let add_gen key r =
+    match Row.Tbl.find_opt tg key with
+    | Some cell -> cell := r :: !cell
+    | None -> Row.Tbl.add tg key (ref [ r ])
+  in
+  let build_batch b =
+    let bid = !nbatches lsl ref_bits in
+    (* The single-strict-int-key build dispatches on the column
+       representation once per batch, so the per-row loop carries no
+       routing allocation at all. *)
+    (match (nk, b.Batch.cols.(rk.(0))) with
+    | 1, Batch.Ints { data; nulls } when strict.(0) ->
+        Batch.iter_live b (fun i ->
+            if not nulls.(i) then
+              let x = data.(i) in
+              if x > -exact_bound && x < exact_bound then
+                flat_add ft x 0 (bid lor i)
+              else add_gen [| Value.Int x |] (bid lor i))
+    | _ ->
+        Batch.iter_live b (fun i ->
+            let r = bid lor i in
+            match route_key b rk strict i with
+            | Kdrop -> ()
+            | K1 k -> flat_add ft k 0 r
+            | K2 (k1, k2) -> flat_add ft k1 k2 r
+            | Kgen key -> add_gen key r));
+    acc := b :: !acc;
+    incr nbatches
+  in
+  let built = ref false in
+  let build () =
+    let rec go () =
+      match right.next_batch () with
+      | None -> ()
+      | Some b ->
+          build_batch b;
+          go ()
+    in
+    go ();
+    batches := Array.of_list (List.rev !acc);
+    acc := [];
+    built := true
+  in
+  let right_row r = Batch.row !batches.(r lsr ref_bits) (r land ref_mask) in
+  (* Probe one left batch into (left index, right ref) pair buffers. *)
+  let out_l = ivec_make () and out_r = ivec_make () in
+  let pad_left i =
+    ivec_push out_l i;
+    ivec_push out_r (-1)
+  in
+  (* Emit a flat-table chain (newest-first): reserve and fill backwards so
+     output order is build order, matching the tuple engine. *)
+  let emit_chain lb i head =
+    if head < 0 then begin
+      if outer_join then pad_left i
+    end
+    else
+      match residual with
+      | None ->
+          let m = ref 0 in
+          let p = ref head in
+          while !p >= 0 do
+            incr m;
+            p := ft.fnexts.buf.(!p)
+          done;
+          let m = !m in
+          ivec_reserve out_l m;
+          ivec_reserve out_r m;
+          let k = ref (out_l.n + m - 1) in
+          let p = ref head in
+          while !p >= 0 do
+            out_l.buf.(!k) <- i;
+            out_r.buf.(!k) <- ft.frefs.buf.(!p);
+            decr k;
+            p := ft.fnexts.buf.(!p)
+          done;
+          out_l.n <- out_l.n + m;
+          out_r.n <- out_r.n + m
+      | Some f ->
+          let refs = ref [] in
+          let p = ref head in
+          while !p >= 0 do
+            refs := ft.frefs.buf.(!p) :: !refs;
+            p := ft.fnexts.buf.(!p)
+          done;
+          let l = Batch.row lb i in
+          let emitted = ref false in
+          List.iter
+            (fun r ->
+              if Truth.to_bool (f l (right_row r)) then begin
+                emitted := true;
+                ivec_push out_l i;
+                ivec_push out_r r
+              end)
+            !refs;
+          if outer_join && not !emitted then pad_left i
+  in
+  (* Emit a boxed-path match list (newest-first, same order contract). *)
+  let emit_matches lb i matches =
+    match matches with
+    | [] -> if outer_join then pad_left i
+    | _ -> (
+        match residual with
+        | None ->
+            let m = List.length matches in
+            ivec_reserve out_l m;
+            ivec_reserve out_r m;
+            let k = ref (out_l.n + m - 1) in
+            List.iter
+              (fun r ->
+                out_l.buf.(!k) <- i;
+                out_r.buf.(!k) <- r;
+                decr k)
+              matches;
+            out_l.n <- out_l.n + m;
+            out_r.n <- out_r.n + m
+        | Some f ->
+            let l = Batch.row lb i in
+            let emitted = ref false in
+            List.iter
+              (fun r ->
+                if Truth.to_bool (f l (right_row r)) then begin
+                  emitted := true;
+                  ivec_push out_l i;
+                  ivec_push out_r r
+                end)
+              (List.rev matches);
+            if outer_join && not !emitted then pad_left i)
+  in
+  let gen_matches key =
+    match Row.Tbl.find_opt tg key with Some c -> !c | None -> []
+  in
+  let probe_batch lb =
+    out_l.n <- 0;
+    out_r.n <- 0;
+    match (nk, lb.Batch.cols.(lk.(0))) with
+    | 1, Batch.Ints { data; nulls } when strict.(0) ->
+        (* mirror of the build's unboxed fast path *)
+        Batch.iter_live lb (fun i ->
+            if nulls.(i) then begin
+              if outer_join then pad_left i
+            end
+            else
+              let x = data.(i) in
+              if x > -exact_bound && x < exact_bound then
+                emit_chain lb i (flat_find ft x 0)
+              else emit_matches lb i (gen_matches [| Value.Int x |]))
+    | _ ->
+        Batch.iter_live lb (fun i ->
+            match route_key lb lk strict i with
+            | Kdrop -> if outer_join then pad_left i
+            | K1 k -> emit_chain lb i (flat_find ft k 0)
+            | K2 (k1, k2) -> emit_chain lb i (flat_find ft k1 k2)
+            | Kgen key -> emit_matches lb i (gen_matches key))
+  in
+  (* Columnar gather of one ≤max_rows output chunk. *)
+  let gather_left (c : Batch.col) start len : Batch.col =
+    match c with
+    | Batch.Ints { data; nulls } ->
+        let d = Array.make len 0 and nu = Array.make len false in
+        for k = 0 to len - 1 do
+          let i = out_l.buf.(start + k) in
+          d.(k) <- data.(i);
+          nu.(k) <- nulls.(i)
+        done;
+        Batch.Ints { data = d; nulls = nu }
+    | Batch.Floats { data; nulls } ->
+        let d = Array.make len 0. and nu = Array.make len false in
+        for k = 0 to len - 1 do
+          let i = out_l.buf.(start + k) in
+          d.(k) <- data.(i);
+          nu.(k) <- nulls.(i)
+        done;
+        Batch.Floats { data = d; nulls = nu }
+    | Batch.Values vs ->
+        Batch.Values (Array.init len (fun k -> vs.(out_l.buf.(start + k))))
+  in
+  let gather_right cj start len : Batch.col =
+    let bs = !batches in
+    let boxed () =
+      Batch.Values
+        (Array.init len (fun k ->
+             let r = out_r.buf.(start + k) in
+             if r < 0 then Value.Null
+             else Batch.value bs.(r lsr ref_bits) ~col:cj ~row:(r land ref_mask)))
+    in
+    (* Optimistic unboxed gather guided by the schema type; a boxed source
+       batch (demoted column) aborts to the exact boxed path. *)
+    match joined_tys.(l_arity + cj) with
+    | Value.Tint -> (
+        let d = Array.make len 0 and nu = Array.make len false in
+        try
+          for k = 0 to len - 1 do
+            let r = out_r.buf.(start + k) in
+            if r < 0 then nu.(k) <- true
+            else
+              match bs.(r lsr ref_bits).Batch.cols.(cj) with
+              | Batch.Ints { data; nulls } ->
+                  let i = r land ref_mask in
+                  d.(k) <- data.(i);
+                  nu.(k) <- nulls.(i)
+              | _ -> raise_notrace Exit
+          done;
+          Batch.Ints { data = d; nulls = nu }
+        with Exit -> boxed ())
+    | Value.Tfloat -> (
+        let d = Array.make len 0. and nu = Array.make len false in
+        try
+          for k = 0 to len - 1 do
+            let r = out_r.buf.(start + k) in
+            if r < 0 then nu.(k) <- true
+            else
+              match bs.(r lsr ref_bits).Batch.cols.(cj) with
+              | Batch.Floats { data; nulls } ->
+                  let i = r land ref_mask in
+                  d.(k) <- data.(i);
+                  nu.(k) <- nulls.(i)
+              | _ -> raise_notrace Exit
+          done;
+          Batch.Floats { data = d; nulls = nu }
+        with Exit -> boxed ())
+    | Value.Tstr | Value.Tdate -> boxed ()
+  in
+  let pending : Batch.t Queue.t = Queue.create () in
+  let emit lb =
+    let total = out_l.n in
+    let start = ref 0 in
+    while !start < total do
+      let len = min Batch.max_rows (total - !start) in
+      let cols =
+        Array.map
+          (fun p ->
+            if p < l_arity then gather_left lb.Batch.cols.(p) !start len
+            else gather_right (p - l_arity) !start len)
+          out_positions
+      in
+      Queue.add { Batch.schema; len; cols; sel = None } pending;
+      start := !start + len
+    done
+  in
+  let rec next_batch () =
+    if not !built then build ();
+    if not (Queue.is_empty pending) then Some (Queue.take pending)
+    else
+      match left.next_batch () with
+      | None -> None
+      | Some lb ->
+          probe_batch lb;
+          if out_l.n > 0 then emit lb;
+          next_batch ()
+  in
+  { schema; next_batch }
+
+(* ------------------------------------------------------------------ *)
+(* Hash aggregation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Update an accumulator straight from a column, avoiding value boxing on
+   the unboxed-int paths (the common COUNT/SUM/MAX cases).  Anything off
+   the fast path delegates to [Eval.update_state], so semantics stay
+   shared. *)
+let update_from_col (st : Eval.agg_state) (c : Batch.col) i =
+  match c with
+  | Batch.Ints { data; nulls } -> (
+      if nulls.(i) then (
+        match st with
+        | Eval.S_count k when k.star -> k.n <- k.n + 1
+        | _ -> ())
+      else
+        let x = data.(i) in
+        match st with
+        | Eval.S_count k -> k.n <- k.n + 1
+        | Eval.S_sum s -> (
+            match s.v with
+            | Value.Int cur -> s.v <- Value.Int (cur + x)
+            | Value.Null -> s.v <- Value.Int x
+            | _ -> Eval.update_state st (Value.Int x))
+        | Eval.S_max m -> (
+            match m.v with
+            | Value.Int cur -> if x > cur then m.v <- Value.Int x
+            | Value.Null -> m.v <- Value.Int x
+            | _ -> Eval.update_state st (Value.Int x))
+        | Eval.S_min m -> (
+            match m.v with
+            | Value.Int cur -> if x < cur then m.v <- Value.Int x
+            | Value.Null -> m.v <- Value.Int x
+            | _ -> Eval.update_state st (Value.Int x))
+        | Eval.S_avg a ->
+            a.total <- a.total +. float_of_int x;
+            a.n <- a.n + 1)
+  | Batch.Floats { data; nulls } ->
+      if nulls.(i) then (
+        match st with
+        | Eval.S_count k when k.star -> k.n <- k.n + 1
+        | _ -> ())
+      else Eval.update_state st (Value.Float data.(i))
+  | Batch.Values vs -> Eval.update_state st vs.(i)
+
+let hash_group_agg ~group_key ~(aggs : Iterator.agg_spec list) ~schema
+    (input : t) : t =
+  let gk = Array.of_list group_key in
+  let nk = Array.length gk in
+  let agg_arr = Array.of_list aggs in
+  let fresh () = Array.map (fun (s : Iterator.agg_spec) -> Eval.fresh_state s.fn) agg_arr in
+  (* Group routing mirrors [hash_join]'s: int-class keys through an unboxed
+     table, everything else (including the NULL group) through [Row.Tbl]. *)
+  let t1 : (int, Eval.agg_state array) Hashtbl.t = Hashtbl.create 256 in
+  let tg : Eval.agg_state array Row.Tbl.t = Row.Tbl.create 64 in
+  let order = ref [] (* (first-occurrence key row, states), reversed *) in
+  let global = fresh () in
+  let states_for b i =
+    if nk = 0 then global
+    else if nk = 1 then
+      match col_int_key b.Batch.cols.(gk.(0)) i with
+      | Some k -> (
+          match Hashtbl.find_opt t1 k with
+          | Some st -> st
+          | None ->
+              let st = fresh () in
+              Hashtbl.add t1 k st;
+              order := ([| Batch.value b ~col:gk.(0) ~row:i |], st) :: !order;
+              st)
+      | None -> (
+          let key = [| Batch.value b ~col:gk.(0) ~row:i |] in
+          match Row.Tbl.find_opt tg key with
+          | Some st -> st
+          | None ->
+              let st = fresh () in
+              Row.Tbl.add tg key st;
+              order := (key, st) :: !order;
+              st)
+    else
+      let key = Array.init nk (fun j -> Batch.value b ~col:gk.(j) ~row:i) in
+      match Row.Tbl.find_opt tg key with
+      | Some st -> st
+      | None ->
+          let st = fresh () in
+          Row.Tbl.add tg key st;
+          order := (key, st) :: !order;
+          st
+  in
+  let update_row b i states =
+    Array.iteri
+      (fun j (spec : Iterator.agg_spec) ->
+        match spec.arg with
+        | None -> (
+            match states.(j) with
+            | Eval.S_count k -> k.n <- k.n + 1
+            | st -> Eval.update_state st (Value.Int 1))
+        | Some c -> update_from_col states.(j) b.Batch.cols.(c) i)
+      agg_arr
+  in
+  let rec drain () =
+    match input.next_batch () with
+    | None -> ()
+    | Some b ->
+        Batch.iter_live b (fun i -> update_row b i (states_for b i));
+        drain ()
+  in
+  let done_ = ref false in
+  let next_batch () =
+    if !done_ then None
+    else begin
+      done_ := true;
+      drain ();
+      let finish (key, states) = Row.append key (Array.map Eval.finish_state states) in
+      let rows =
+        if nk = 0 then [ finish ([||], global) ]
+        else List.rev_map finish !order
+      in
+      match rows with
+      | [] -> None
+      | rows -> Some (Batch.of_rows schema (Array.of_list rows))
+    end
+  in
+  { schema; next_batch }

@@ -564,13 +564,27 @@ let register_temp_result catalog name def out_sorted result =
   let renamed = Relation.make schema (Relation.rows result) in
   Catalog.register_relation ?sorted_on:out_sorted catalog name renamed
 
+(* Execute a lowered plan under the chosen engine, instrumented when a
+   session is supplied.  The observer type differs per engine (tuple
+   iterators vs batch streams), so the dispatch lives here rather than in
+   callers. *)
+let run_plan ~engine ?session catalog plan : Relation.t =
+  match (engine : Exec.Plan.engine) with
+  | Exec.Plan.Tuple ->
+      let observe = Option.map Exec.Explain.observer session in
+      Exec.Plan.run ?observe catalog plan
+  | Exec.Plan.Vectorized ->
+      let observe = Option.map Exec.Explain.observer_vec session in
+      Exec.Plan.run_vec ?observe catalog plan
+
 (* Materialize one temp definition and register it under its name with the
    program's column names. *)
-let materialize_temp ?(force = Auto) ?(mode = Paper1987) ?observe catalog
+let materialize_temp ?(force = Auto) ?(mode = Paper1987)
+    ?(engine = Exec.Plan.Tuple) ?session catalog
     ({ Program.name; def } : Program.temp) =
   let { plan; out_sorted } = lower ~force ~mode catalog def in
   register_temp_result catalog name def out_sorted
-    (Exec.Plan.run ?observe catalog plan)
+    (run_plan ~engine ?session catalog plan)
 
 (* Structural verification of a transformed program (NQ900-NQ906): the
    invariants NEST-JA2 guarantees and Kim's NEST-JA violates.  The checker
@@ -588,8 +602,9 @@ let verify_program catalog (p : Program.t) : Analysis.Diagnostics.t list =
    [drop_temps]).  With [~verify:true] the program is structurally
    verified first and refused ([Planning_error]) on any violation, so a
    bad transformation can never silently produce a wrong answer. *)
-let run_program ?(force = Auto) ?(mode = Paper1987) ?(verify = false) ?observe
-    catalog (p : Program.t) : Relation.t =
+let run_program ?(force = Auto) ?(mode = Paper1987) ?(verify = false)
+    ?(engine = Exec.Plan.Tuple) ?session catalog (p : Program.t) : Relation.t
+    =
   (if verify then
      match
        List.filter
@@ -601,9 +616,9 @@ let run_program ?(force = Auto) ?(mode = Paper1987) ?(verify = false) ?observe
      | violations ->
          errf "transformed program failed verification:\n%s"
            (Analysis.Diagnostics.list_to_string violations));
-  List.iter (materialize_temp ~force ~mode ?observe catalog) p.temps;
+  List.iter (materialize_temp ~force ~mode ~engine ?session catalog) p.temps;
   let { plan; _ } = lower ~force ~mode catalog p.main in
-  Exec.Plan.run ?observe catalog plan
+  run_plan ~engine ?session catalog plan
 
 let drop_temps catalog (p : Program.t) =
   List.iter (fun { Program.name; _ } -> Catalog.drop catalog name) p.temps
@@ -622,7 +637,8 @@ type explained = {
    see them — but only [analyze] instruments the execution (and runs the
    main query at all).  Temps are dropped before returning. *)
 let explain_plans ?(force = Auto) ?(mode = Paper1987) ?(analyze = false)
-    ?trace catalog (p : Program.t) : explained list =
+    ?(engine = Exec.Plan.Tuple) ?trace catalog (p : Program.t) :
+    explained list =
   let trace_segment label =
     match trace with
     | Some out -> out (Printf.sprintf {|{"ev":"segment","name":%S}|} label)
@@ -632,12 +648,12 @@ let explain_plans ?(force = Auto) ?(mode = Paper1987) ?(analyze = false)
     let { plan; out_sorted } = lower ~force ~mode catalog def in
     (* estimate against pre-execution statistics, as the planner saw them *)
     let estimate = Estimate.estimator catalog plan in
-    let run ?observe () =
+    let run ?session () =
       match register with
-      | None -> ignore (Exec.Plan.run ?observe catalog plan)
+      | None -> ignore (run_plan ~engine ?session catalog plan)
       | Some name ->
           register_temp_result catalog name def out_sorted
-            (Exec.Plan.run ?observe catalog plan)
+            (run_plan ~engine ?session catalog plan)
     in
     let text, json =
       if analyze then begin
@@ -645,7 +661,7 @@ let explain_plans ?(force = Auto) ?(mode = Paper1987) ?(analyze = false)
         let session =
           Exec.Explain.session ?trace (Catalog.pager catalog)
         in
-        run ~observe:(Exec.Explain.observer session) ();
+        run ~session ();
         let metrics = Exec.Explain.metrics session in
         ( Exec.Explain.render ~estimate ~metrics ~indent:1 plan,
           Exec.Explain.render_json ~estimate ~metrics plan )
@@ -669,9 +685,9 @@ let explain_plans ?(force = Auto) ?(mode = Paper1987) ?(analyze = false)
   temp_segs @ [ main_seg ]
 
 (* EXPLAIN: the full pipeline as text, one "label:" header per segment. *)
-let explain_text ?force ?mode ?analyze ?trace catalog (p : Program.t) : string
-    =
-  explain_plans ?force ?mode ?analyze ?trace catalog p
+let explain_text ?force ?mode ?analyze ?engine ?trace catalog (p : Program.t)
+    : string =
+  explain_plans ?force ?mode ?analyze ?engine ?trace catalog p
   |> List.map (fun s -> s.seg_label ^ ":\n" ^ s.seg_text)
   |> String.concat "\n"
 

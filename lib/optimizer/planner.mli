@@ -45,12 +45,15 @@ val lower :
 
 (** Plan, execute and register one temp definition under its program name
     (column names from [Program.output_column_names], order metadata from
-    the plan).  [observe] intercepts every operator build — pass
-    [Exec.Explain.observer] to instrument the execution. *)
+    the plan).  [engine] selects tuple-at-a-time (the default and oracle
+    reference) or vectorized batch execution — same plans, same results.
+    [session] instruments the execution with the engine-appropriate
+    {!Exec.Explain} observer. *)
 val materialize_temp :
   ?force:join_choice ->
   ?mode:mode ->
-  ?observe:Exec.Plan.observer ->
+  ?engine:Exec.Plan.engine ->
+  ?session:Exec.Explain.session ->
   Storage.Catalog.t ->
   Program.temp ->
   unit
@@ -66,7 +69,7 @@ val verify_program :
 
 (** Run a whole program: temps in order, then the main query.  Temps stay
     registered (the paper's tables print their contents); remove them with
-    {!drop_temps}.  [observe] as in {!materialize_temp}.  With
+    {!drop_temps}.  [engine] and [session] as in {!materialize_temp}.  With
     [~verify:true] the program is checked with {!verify_program} first and
     refused with [Planning_error] on any Error-severity violation, so a bad
     transformation can never silently produce a wrong answer. *)
@@ -74,7 +77,8 @@ val run_program :
   ?force:join_choice ->
   ?mode:mode ->
   ?verify:bool ->
-  ?observe:Exec.Plan.observer ->
+  ?engine:Exec.Plan.engine ->
+  ?session:Exec.Explain.session ->
   Storage.Catalog.t ->
   Program.t ->
   Relalg.Relation.t
@@ -97,11 +101,14 @@ type explained = {
     which otherwise never runs — and annotates each operator with actual
     rows / [next] calls / wall-clock / page I/Os.  [trace] receives one
     JSON line per operator event plus a [{"ev":"segment"}] marker per
-    segment.  Temps are dropped before returning. *)
+    segment.  [engine] selects the execution engine for the (instrumented)
+    runs; under the vectorized engine the actuals gain [rows/call] > 1 and
+    a [batches] count.  Temps are dropped before returning. *)
 val explain_plans :
   ?force:join_choice ->
   ?mode:mode ->
   ?analyze:bool ->
+  ?engine:Exec.Plan.engine ->
   ?trace:(string -> unit) ->
   Storage.Catalog.t ->
   Program.t ->
@@ -113,6 +120,7 @@ val explain_text :
   ?force:join_choice ->
   ?mode:mode ->
   ?analyze:bool ->
+  ?engine:Exec.Plan.engine ->
   ?trace:(string -> unit) ->
   Storage.Catalog.t ->
   Program.t ->

@@ -25,12 +25,13 @@ type candidate =
       rewrite_not_in : bool;
       mode : Planner.mode;
       force : Planner.join_choice;
+      engine : Exec.Plan.engine;
     }
 
 let candidate_label = function
   | Paged_nested -> "paged-nested"
-  | Rewrite { rewrite_not_in; mode; force } ->
-      Printf.sprintf "rewrite%s/%s/%s"
+  | Rewrite { rewrite_not_in; mode; force; engine } ->
+      Printf.sprintf "rewrite%s/%s/%s%s"
         (if rewrite_not_in then "+not-in" else "")
         (match mode with Planner.Paper1987 -> "paper" | Planner.Hybrid -> "hybrid")
         (match force with
@@ -38,16 +39,25 @@ let candidate_label = function
         | Planner.Force_nl -> "nl"
         | Planner.Force_merge -> "merge"
         | Planner.Force_hash -> "hash")
+        (match engine with
+        | Exec.Plan.Tuple -> ""
+        | Exec.Plan.Vectorized -> "/vec")
 
-(* The full grid: 1 + 2*2*4 = 17 executions per query. *)
+(* The full grid: 1 + 2*2*4*2 = 33 executions per query.  The engine axis
+   cross-checks the vectorized operators against the tuple engine on every
+   plan shape the other axes can force. *)
 let all_candidates =
   Paged_nested
   :: List.concat_map
        (fun rewrite_not_in ->
          List.concat_map
            (fun mode ->
-             List.map
-               (fun force -> Rewrite { rewrite_not_in; mode; force })
+             List.concat_map
+               (fun force ->
+                 List.map
+                   (fun engine ->
+                     Rewrite { rewrite_not_in; mode; force; engine })
+                   [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
                [ Planner.Auto; Planner.Force_nl; Planner.Force_merge;
                  Planner.Force_hash ])
            [ Planner.Paper1987; Planner.Hybrid ])
@@ -149,12 +159,13 @@ let run_candidate (case : Repro.case) candidate :
     | Paged_nested -> Core.Nested_iteration
     | Rewrite { force; _ } -> Core.Transformed force
   in
-  let rewrite_not_in, mode =
+  let rewrite_not_in, mode, engine =
     match candidate with
-    | Paged_nested -> (false, None)
-    | Rewrite { rewrite_not_in; mode; _ } -> (rewrite_not_in, Some mode)
+    | Paged_nested -> (false, None, None)
+    | Rewrite { rewrite_not_in; mode; engine; _ } ->
+        (rewrite_not_in, Some mode, Some engine)
   in
-  match Core.run ~strategy ~rewrite_not_in ?mode db case.sql with
+  match Core.run ~strategy ~rewrite_not_in ?mode ?engine db case.sql with
   | Ok e -> Ok e.Core.result
   | Error _ as e -> e
   | exception Exec.Nested_iter.Runtime_error msg -> Error ("runtime: " ^ msg)

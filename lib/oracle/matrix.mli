@@ -1,10 +1,10 @@
 (** The execution matrix: one query evaluated by the non-optimizing
     reference (in-memory nested iteration + presentation ORDER BY) and by
     every candidate path — paged nested iteration, and the NEST-G rewrite
-    under every (NOT-IN flag x planner mode x forced join method) cell.
-    A candidate may {e refuse} (not transformable / soundness guard); a
-    candidate that answers must agree with the reference under the
-    NULL-aware comparator. *)
+    under every (NOT-IN flag x planner mode x forced join method x
+    execution engine) cell.  A candidate may {e refuse} (not transformable
+    / soundness guard); a candidate that answers must agree with the
+    reference under the NULL-aware comparator. *)
 
 type candidate =
   | Paged_nested
@@ -12,11 +12,13 @@ type candidate =
       rewrite_not_in : bool;
       mode : Optimizer.Planner.mode;
       force : Optimizer.Planner.join_choice;
+      engine : Exec.Plan.engine;
     }
 
 val candidate_label : candidate -> string
 
-(** The full grid: paged nested iteration plus all 16 rewrite cells. *)
+(** The full grid: paged nested iteration plus all 32 rewrite cells
+    (vectorized cells carry a ["/vec"] label suffix). *)
 val all_candidates : candidate list
 
 type verdict =

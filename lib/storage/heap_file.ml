@@ -84,6 +84,21 @@ let scan t : unit -> Row.t option =
   in
   next
 
+(* Page-at-a-time scan for batch decoders: each call yields one page's rows
+   as the stored array (callers must not mutate it).  Same pool accounting
+   as {!scan}, minus the per-row closure overhead. *)
+let scan_pages t : unit -> Row.t array option =
+  flush t;
+  let npages = Pager.page_count t.pager t.file in
+  let page_no = ref 0 in
+  fun () ->
+    if !page_no < npages then begin
+      let p = Pager.read_page t.pager t.file !page_no in
+      incr page_no;
+      Some p
+    end
+    else None
+
 let to_relation t =
   let next = scan t in
   let rec collect acc =

@@ -25,5 +25,10 @@ val flush : t -> unit
 (** Sequential scan; flushes first. Page reads go through the buffer pool. *)
 val scan : t -> unit -> Relalg.Row.t option
 
+(** Page-at-a-time scan for batch decoders; flushes first.  Each call
+    yields one page's rows (do not mutate the array).  Page reads go
+    through the buffer pool exactly as in {!scan}. *)
+val scan_pages : t -> unit -> Relalg.Row.t array option
+
 val to_relation : t -> Relalg.Relation.t
 val delete : t -> unit

@@ -98,43 +98,48 @@ let test_golden_type_ja () =
 let test_golden_analyze_ja () =
   let db = make_parts_db () in
   check_golden "type-JA explain analyze"
-    "temp TEMP#1:\n\
-    \  Distinct  (cost=3.0 rows=3)  (actual: rows=3 next=4 time=_ms \
-     io=3/0/3)\n\
-    \    Project PARTS.PNUM  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
-     time=_ms io=0/0/0)\n\
-    \      Scan PARTS  (cost=1.0 rows=3)  (actual: rows=3 next=4 time=_ms \
-     io=1/0/0)\n\
-     \n\
-     temp TEMP#2:\n\
-    \  Project SUPPLY.PNUM, SUPPLY.SHIPDATE  (cost=3.0 rows=2)  (actual: \
-     rows=3 next=4 time=_ms io=0/0/0)\n\
-    \    Filter SUPPLY.SHIPDATE < '1980-01-01'  (cost=3.0 rows=2)  (actual: \
-     rows=3 next=4 time=_ms io=0/0/0)\n\
-    \      Scan SUPPLY  (cost=3.0 rows=5)  (actual: rows=5 next=6 time=_ms \
-     io=3/0/0)\n\
-     \n\
-     temp TEMP#3:\n\
-    \  Project TEMP#1.PNUM, agg.COUNT_SHIPDATE  (cost=2.0 rows=2)  (actual: \
-     rows=3 next=4 time=_ms io=0/0/0)\n\
-    \    GroupAgg by [TEMP#1.PNUM] computing [COUNT(TEMP#2.SHIPDATE) AS \
-     COUNT_SHIPDATE]  (cost=2.0 rows=2)  (actual: rows=3 next=4 time=_ms \
-     io=0/0/0)\n\
-    \      nested-loop left-outer join on TEMP#1.PNUM = TEMP#2.PNUM  \
-     (cost=2.0 rows=4)  (actual: rows=4 next=5 time=_ms io=3/0/0)\n\
-    \        Scan TEMP#1  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
-     time=_ms io=1/0/0)\n\
-    \        Scan TEMP#2  (cost=1.0 rows=3)  (actual: -)\n\
-     \n\
-     main:\n\
-    \  Project PARTS.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
-     time=_ms io=0/0/0)\n\
-    \    nested-loop inner join on PARTS.QOH = TEMP#3.COUNT_SHIPDATE AND \
-     PARTS.PNUM <=> TEMP#3.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
-     time=_ms io=3/0/0)\n\
-    \      Scan PARTS  (cost=1.0 rows=3)  (actual: rows=3 next=4 time=_ms \
-     io=1/0/0)\n\
-    \      Scan TEMP#3  (cost=1.0 rows=3)  (actual: -)\n"
+    (String.concat "\n"
+       [
+         "temp TEMP#1:";
+         "  Distinct  (cost=3.0 rows=3)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=3/0/3)";
+         "    Project PARTS.PNUM  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=0/0/0)";
+         "      Scan PARTS  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=1/0/0)";
+         "";
+         "temp TEMP#2:";
+         "  Project SUPPLY.PNUM, SUPPLY.SHIPDATE  (cost=3.0 rows=2)  \
+          (actual: rows=3 next=4 rows/call=0.8 time=_ms io=0/0/0)";
+         "    Filter SUPPLY.SHIPDATE < '1980-01-01'  (cost=3.0 rows=2)  \
+          (actual: rows=3 next=4 rows/call=0.8 time=_ms io=0/0/0)";
+         "      Scan SUPPLY  (cost=3.0 rows=5)  (actual: rows=5 next=6 \
+          rows/call=0.8 time=_ms io=3/0/0)";
+         "";
+         "temp TEMP#3:";
+         "  Project TEMP#1.PNUM, agg.COUNT_SHIPDATE  (cost=2.0 rows=2)  \
+          (actual: rows=3 next=4 rows/call=0.8 time=_ms io=0/0/0)";
+         "    GroupAgg by [TEMP#1.PNUM] computing [COUNT(TEMP#2.SHIPDATE) \
+          AS COUNT_SHIPDATE]  (cost=2.0 rows=2)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=0/0/0)";
+         "      nested-loop left-outer join on TEMP#1.PNUM = TEMP#2.PNUM  \
+          (cost=2.0 rows=4)  (actual: rows=4 next=5 rows/call=0.8 time=_ms \
+          io=3/0/0)";
+         "        Scan TEMP#1  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=1/0/0)";
+         "        Scan TEMP#2  (cost=1.0 rows=3)  (actual: -)";
+         "";
+         "main:";
+         "  Project PARTS.PNUM  (cost=2.0 rows=1)  (actual: rows=2 next=3 \
+          rows/call=0.7 time=_ms io=0/0/0)";
+         "    nested-loop inner join on PARTS.QOH = TEMP#3.COUNT_SHIPDATE \
+          AND PARTS.PNUM <=> TEMP#3.PNUM  (cost=2.0 rows=1)  (actual: \
+          rows=2 next=3 rows/call=0.7 time=_ms io=3/0/0)";
+         "      Scan PARTS  (cost=1.0 rows=3)  (actual: rows=3 next=4 \
+          rows/call=0.8 time=_ms io=1/0/0)";
+         "      Scan TEMP#3  (cost=1.0 rows=3)  (actual: -)";
+         "";
+       ])
     (scrub_times
        (Result.get_ok (Core.explain_query ~analyze:true db F.query_q2)))
 
