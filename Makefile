@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test lint fuzz-smoke bench bench-json bench-smoke doc clean
+.PHONY: all check test lint fuzz-smoke serve-smoke bench bench-json bench-smoke doc clean
 
 all:
 	dune build
@@ -29,6 +29,13 @@ fuzz-smoke:
 	dune build bin/nestsql.exe
 	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q
 	dune exec bin/nestsql.exe -- fuzz --replay examples/queries/regressions -q
+
+# End-to-end server smoke (docs/SERVER.md): start `nestsql serve` on a
+# Unix-domain socket, run the paper's Q2/Q5 through `nestsql client`,
+# assert the plan cache reports hits and that `load` invalidates it.
+serve-smoke:
+	dune build bin/nestsql.exe
+	sh scripts/serve_smoke.sh
 
 bench:
 	dune exec bench/main.exe

@@ -7,12 +7,15 @@
      nestsql explain   [--analyze] "..."          physical plans (+ runtime)
      nestsql lint      [--json] FILE|-            static diagnostics (NQxxx)
      nestsql tables    [-d kim]                   list tables of the fixture
+     nestsql serve     --socket PATH | --port N   long-lived JSON-line server
+     nestsql client    --socket PATH -e "..."     send statements to a server
 
    Databases: a built-in fixture (-d kim | count-bug | neq-bug | duplicates)
    and/or CSV tables loaded with  -t NAME=path.csv  (header NAME:TYPE,...).
 
    --trace (or NESTOPT_TRACE=1) emits one JSON line per operator event to
-   stderr during plan execution; schema in docs/EXPLAIN.md. *)
+   stderr during plan execution; schema in docs/EXPLAIN.md.  The server
+   protocol is documented in docs/SERVER.md. *)
 
 module Catalog = Storage.Catalog
 module F = Workload.Fixtures
@@ -126,26 +129,41 @@ let die msg =
 
 let ok_or_die = function Ok v -> v | Error msg -> die msg
 
+(* --engine/--mode values are validated strictly: a typo exits 1 with a
+   clear message and must never silently select a default. *)
 let engine_of_flag s =
   match Exec.Plan.engine_of_string s with
   | Some e -> e
   | None -> die ("unknown engine " ^ s ^ " (want tuple or vectorized)")
 
+let mode =
+  let doc = "Planner mode: paper1987 (the paper's cost model, the default) \
+             or hybrid (adds hash operators under blended I/O+CPU costing)."
+  in
+  Arg.(value & opt string "paper1987" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let mode_of_flag s =
+  match Optimizer.Planner.mode_of_string s with
+  | Some m -> m
+  | None -> die ("unknown mode " ^ s ^ " (want paper1987 or hybrid)")
+
 (* ---------------- commands -------------------------------------------- *)
 
-let run_cmd load_dir fixture tables buffer_pages page_bytes strategy engine
-    exec_trace sql =
+let run_cmd load_dir fixture tables buffer_pages page_bytes strategy mode
+    engine exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy =
     match strategy with
     | "auto" -> Core.Auto
     | "nested" -> Core.Nested_iteration
     | "transformed" -> Core.Transformed Optimizer.Planner.Auto
-    | s -> die ("unknown strategy " ^ s)
+    | s -> die ("unknown strategy " ^ s ^ " (want auto, nested or transformed)")
   in
+  let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
   let e =
-    ok_or_die (Core.run ~strategy ~engine ?trace:(trace_sink exec_trace) db sql)
+    ok_or_die
+      (Core.run ~strategy ~mode ~engine ?trace:(trace_sink exec_trace) db sql)
   in
   Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
 
@@ -180,14 +198,15 @@ let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
   let tree = ok_or_die (Core.query_tree db sql) in
   Fmt.pr "%a" Optimizer.Query_tree.pp tree
 
-let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze engine
-    exec_trace sql =
+let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze mode
+    engine exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
   Fmt.pr "%s@."
     (ok_or_die
-       (Core.explain_query ~analyze ~engine ?trace:(trace_sink exec_trace) db
-          sql))
+       (Core.explain_query ~mode ~analyze ~engine
+          ?trace:(trace_sink exec_trace) db sql))
 
 (* ---------------- lint -------------------------------------------------- *)
 
@@ -441,6 +460,166 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   in
   loop ()
 
+(* ---------------- serve / client --------------------------------------- *)
+
+(* Address options shared by `serve` and `client`: a Unix-domain socket
+   path, or host:port TCP. *)
+
+let socket_opt =
+  let doc = "Unix-domain socket path to listen/connect on." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_opt =
+  let doc = "TCP port to listen/connect on (with --host)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N" ~doc)
+
+let host_opt =
+  let doc = "TCP host for --port." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let sockaddr_of_flags socket host port =
+  match (socket, port) with
+  | Some path, None -> Unix.ADDR_UNIX path
+  | None, Some port -> (
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> die ("cannot resolve " ^ host)
+            | h -> h.Unix.h_addr_list.(0)
+            | exception Not_found -> die ("cannot resolve " ^ host))
+      in
+      Unix.ADDR_INET (addr, port))
+  | Some _, Some _ -> die "--socket and --port are mutually exclusive"
+  | None, None -> die "need --socket PATH or --port N (see docs/SERVER.md)"
+
+let sockaddr_to_string = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (addr, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+
+let serve_cmd load_dir fixture tables buffer_pages page_bytes socket host port
+    cache_capacity =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let sockaddr = sockaddr_of_flags socket host port in
+  let server = Server.create ~cache_capacity db in
+  Server.serve server sockaddr ~on_ready:(fun () ->
+      Fmt.pr "nestsql: listening on %s@." (sockaddr_to_string sockaddr))
+
+(* One response line, pretty-printed unless --raw: result rows as an
+   aligned table plus a one-line summary, EXPLAIN text verbatim. *)
+let print_response ~raw line =
+  let module P = Server.Protocol in
+  let fail () =
+    Fmt.pr "%s@." line;
+    false
+  in
+  match P.parse line with
+  | Error _ -> fail ()
+  | Ok j -> (
+      let ok = P.member "ok" j = Some (P.Bool true) in
+      (if raw then Fmt.pr "%s@." line
+       else
+         match (P.member "columns" j, P.member "rows" j) with
+         | Some (P.List cols), Some (P.List rows) ->
+             let cell = function
+               | P.Null -> "NULL"
+               | P.Str s -> s
+               | v -> P.to_string v
+             in
+             Fmt.pr "%s@." (String.concat " | " (List.map cell cols));
+             List.iter
+               (function
+                 | P.List cells ->
+                     Fmt.pr "%s@." (String.concat " | " (List.map cell cells))
+                 | v -> Fmt.pr "%s@." (P.to_string v))
+               rows;
+             let field name =
+               match P.member name j with
+               | Some (P.Str s) -> s
+               | Some v -> P.to_string v
+               | None -> "?"
+             in
+             Fmt.pr "(%s rows, cache %s, strategy %s, %s ms)@."
+               (field "row_count") (field "cache") (field "strategy")
+               (field "wall_ms")
+         | _ -> (
+             match P.member "text" j with
+             | Some (P.Str text) when ok -> Fmt.pr "%s@." text
+             | _ -> Fmt.pr "%s@." line));
+      ok)
+
+let client_cmd socket host port mode engine strategy raw exprs jsons =
+  let module P = Server.Protocol in
+  let sockaddr = sockaddr_of_flags socket host port in
+  (* validate the knob flags before connecting; they apply to every -e *)
+  let knob_fields =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun m ->
+            ("mode", P.Str (Optimizer.Planner.mode_name (mode_of_flag m))))
+          mode;
+        Option.map
+          (fun e ->
+            ("engine", P.Str (Exec.Plan.engine_name (engine_of_flag e))))
+          engine;
+        Option.map
+          (fun (s : string) ->
+            (match s with
+            | "auto" | "nested" | "transformed" -> ()
+            | s ->
+                die
+                  ("unknown strategy " ^ s
+                 ^ " (want auto, nested or transformed)"));
+            ("strategy", P.Str s))
+          strategy;
+      ]
+  in
+  let requests =
+    List.map
+      (fun sql ->
+        P.to_string (P.Obj (("op", P.Str "query") :: ("sql", P.Str sql) :: knob_fields)))
+      exprs
+    @ jsons
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+      die
+        (Printf.sprintf "cannot connect to %s: %s" (sockaddr_to_string sockaddr)
+           (Unix.error_message err)));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let failed = ref false in
+  let round_trip line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | response -> if not (print_response ~raw response) then failed := true
+    | exception End_of_file ->
+        failed := true;
+        Fmt.epr "error: server closed the connection@."
+  in
+  (match requests with
+  | [] ->
+      (* no -e/--json: forward stdin lines (raw protocol) *)
+      let rec pump () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | "" -> pump ()
+        | line ->
+            round_trip line;
+            pump ()
+      in
+      pump ()
+  | requests -> List.iter round_trip requests);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !failed then exit 1
+
 (* ---------------- wiring ---------------------------------------------- *)
 
 let common f =
@@ -451,7 +630,7 @@ let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 let cmds =
   [
     cmd "run" "Run a query (auto strategy by default)."
-      Term.(common (const run_cmd) $ strategy $ engine $ exec_trace $ sql);
+      Term.(common (const run_cmd) $ strategy $ mode $ engine $ exec_trace $ sql);
     cmd "compare" "Run both strategies; report results and page I/O."
       Term.(common (const compare_cmd) $ sql);
     cmd "classify" "Print Kim's nesting classification."
@@ -462,7 +641,8 @@ let cmds =
       Term.(common (const tree_cmd) $ sql);
     cmd "explain"
       "Print annotated physical plans; --analyze adds runtime metrics."
-      Term.(common (const explain_cmd) $ analyze $ engine $ exec_trace $ sql);
+      Term.(
+        common (const explain_cmd) $ analyze $ mode $ engine $ exec_trace $ sql);
     (let json =
        let doc = "Emit diagnostics as a JSON array (schema in docs/LINT.md)." in
        Arg.(value & flag & info [ "json" ] ~doc)
@@ -519,6 +699,58 @@ let cmds =
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."
       (common Term.(const repl_cmd));
+    (let cache_capacity =
+       let doc = "Shared plan-cache capacity (entries)." in
+       Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+     in
+     cmd "serve"
+       "Long-lived server: sessions over a shared database and LRU plan \
+        cache, one JSON object per line in each direction (verbs: query, \
+        prepare, execute, explain, lint, load, stats, close — see \
+        docs/SERVER.md).  Listens on --socket PATH or --host/--port."
+       Term.(
+         common (const serve_cmd) $ socket_opt $ host_opt $ port_opt
+         $ cache_capacity));
+    (let expr =
+       let doc =
+         "Send a query statement (repeatable; sent in order, before --json \
+          requests)."
+       in
+       Arg.(value & opt_all string [] & info [ "e"; "execute" ] ~docv:"SQL" ~doc)
+     in
+     let json =
+       let doc =
+         "Send a raw protocol request line, e.g. '{\"op\": \"stats\"}' \
+          (repeatable)."
+       in
+       Arg.(value & opt_all string [] & info [ "json" ] ~docv:"REQUEST" ~doc)
+     in
+     let raw =
+       let doc = "Print raw JSON response lines instead of tables." in
+       Arg.(value & flag & info [ "raw" ] ~doc)
+     in
+     let mode_opt =
+       let doc = "Planner mode for -e queries: paper1987 or hybrid." in
+       Arg.(value & opt (some string) None & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+     in
+     let engine_opt =
+       let doc = "Execution engine for -e queries: tuple or vectorized." in
+       Arg.(
+         value & opt (some string) None & info [ "e-engine"; "engine" ] ~docv:"ENGINE" ~doc)
+     in
+     let strategy_opt =
+       let doc = "Strategy for -e queries: auto, nested or transformed." in
+       Arg.(
+         value & opt (some string) None & info [ "s"; "strategy" ] ~docv:"S" ~doc)
+     in
+     cmd "client"
+       "Connect to a nestsql server and send statements: each -e SQL as a \
+        query request, each --json line verbatim; with neither, forward \
+        raw request lines from stdin.  Exits 1 if any response is an \
+        error."
+       Term.(
+         const client_cmd $ socket_opt $ host_opt $ port_opt $ mode_opt
+         $ engine_opt $ strategy_opt $ raw $ expr $ json));
   ]
 
 let () =

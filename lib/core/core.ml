@@ -52,21 +52,25 @@ let column_nullable db ~rel col =
       | None -> true
       | exception Schema.Ambiguous _ -> true)
 
-let transform ?(rewrite_not_in = false) ?on_step db text =
+(* NEST-G over an already-analyzed query; [transform] and the prepared-
+   statement path both come through here. *)
+let transform_query ?(rewrite_not_in = false) ?on_step db q =
+  let fresh () = Catalog.fresh_temp_name db.catalog in
+  match
+    Optimizer.Nest_g.transform ~rewrite_not_in ~nullable:(column_nullable db)
+      ?on_step ~fresh q
+  with
+  | program -> Ok program
+  | exception Optimizer.Nest_g.Unsupported msg
+  | exception Optimizer.Ja_shape.Not_ja msg
+  | exception Optimizer.Nest_n_j.Not_applicable msg
+  | exception Optimizer.Extensions.Unsupported msg ->
+      Error ("not transformable: " ^ msg)
+
+let transform ?rewrite_not_in ?on_step db text =
   match parse db text with
   | Error _ as e -> e
-  | Ok q -> (
-      let fresh () = Catalog.fresh_temp_name db.catalog in
-      match
-        Optimizer.Nest_g.transform ~rewrite_not_in
-          ~nullable:(column_nullable db) ?on_step ~fresh q
-      with
-      | program -> Ok program
-      | exception Optimizer.Nest_g.Unsupported msg
-      | exception Optimizer.Ja_shape.Not_ja msg
-      | exception Optimizer.Nest_n_j.Not_applicable msg
-      | exception Optimizer.Extensions.Unsupported msg ->
-          Error ("not transformable: " ^ msg))
+  | Ok q -> transform_query ?rewrite_not_in ?on_step db q
 
 (* The transformation together with its step-by-step trace. *)
 let transform_traced ?rewrite_not_in db text =
@@ -159,70 +163,97 @@ type execution = {
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
-let run ?(strategy = Auto) ?(rewrite_not_in = false) ?mode ?engine ?trace
-    ?on_fallback db text : (execution, string) result =
-  match parse db text with
-  | Error _ as e -> e
-  | Ok q -> (
-      let pager = Catalog.pager db.catalog in
-      (* one instrumentation session for the whole pipeline; nested
-         iteration has no operator tree, so trace only covers plans *)
-      let session =
-        Option.map (fun t -> Exec.Explain.session ~trace:t pager) trace
-      in
-      let run_nested () =
+(* A statement with the per-statement work done once: parse/analyze (the
+   analyzed AST), the normalized rendering (the server's plan-cache key
+   text), and the NEST-G transformation — lazy so strategies that never
+   touch the transformed path ([Nested_iteration]) don't pay for it, and
+   forced at most once however many times the plan is re-executed. *)
+type prepared = {
+  normalized : string;
+  query : Sql.Ast.query;
+  rewrite_not_in : bool;
+  program : (Optimizer.Program.t, string) result Lazy.t;
+}
+
+let prepare_query ?(rewrite_not_in = false) db q =
+  {
+    normalized = Sql.Pp.query_to_string q;
+    query = q;
+    rewrite_not_in;
+    program = lazy (transform_query ~rewrite_not_in db q);
+  }
+
+let prepare ?rewrite_not_in db text =
+  Result.map (prepare_query ?rewrite_not_in db) (parse db text)
+
+let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
+    (p : prepared) : (execution, string) result =
+  let q = p.query in
+  let pager = Catalog.pager db.catalog in
+  (* one instrumentation session for the whole pipeline; nested iteration
+     has no operator tree, so trace only covers plans *)
+  let session =
+    Option.map (fun t -> Exec.Explain.session ~trace:t pager) trace
+  in
+  let run_nested () =
+    let before = Pager.snapshot pager in
+    let result = Exec.Sysr_iteration.run db.catalog q in
+    Ok
+      {
+        result;
+        used_transformation = false;
+        program = None;
+        io = Pager.diff_since pager before;
+      }
+  in
+  (* Every transformed program is verified before it runs (NQ900-NQ906);
+     a failing program is refused here and — under [Auto] — execution
+     falls back to nested iteration with a warning. *)
+  let run_transformed force =
+    match Lazy.force p.program with
+    | Error _ as e -> e
+    | Ok program -> (
         let before = Pager.snapshot pager in
-        let result = Exec.Sysr_iteration.run db.catalog q in
-        Ok
-          {
-            result;
-            used_transformation = false;
-            program = None;
-            io = Pager.diff_since pager before;
-          }
-      in
-      (* Every transformed program is verified before it runs (NQ900-NQ906);
-         a failing program is refused here and — under [Auto] — execution
-         falls back to nested iteration with a warning. *)
-      let run_transformed force =
-        match transform ~rewrite_not_in db text with
-        | Error _ as e -> e
-        | Ok program -> (
-            let before = Pager.snapshot pager in
-            match
-              Optimizer.Planner.run_program ~force ?mode ~verify:true ?engine
-                ?session db.catalog program
-            with
-            | result ->
-                (* ORDER BY is presentation, not plan structure: the nested
-                   paths sort inside [run]; the transformed path must sort
-                   here or a sorted query silently loses its order. *)
-                let result = Exec.Presentation.apply_order q result in
-                let io = Pager.diff_since pager before in
-                Optimizer.Planner.drop_temps db.catalog program;
-                Ok
-                  {
-                    result;
-                    used_transformation = true;
-                    program = Some program;
-                    io;
-                  }
-            | exception Optimizer.Planner.Planning_error msg -> Error msg)
-      in
-      match strategy with
-      | Nested_iteration -> run_nested ()
-      | Transformed force -> run_transformed force
-      | Auto -> (
-          match run_transformed Optimizer.Planner.Auto with
-          | Ok _ as ok -> ok
-          | Error msg ->
-              (match on_fallback with
-              | Some warn ->
-                  warn
-                    ("transformed strategy refused (" ^ msg
-                   ^ "); falling back to nested iteration")
-              | None -> ());
-              run_nested ()))
+        match
+          Optimizer.Planner.run_program ~force ?mode ~verify:true ?engine
+            ?session db.catalog program
+        with
+        | result ->
+            (* ORDER BY is presentation, not plan structure: the nested
+               paths sort inside [run]; the transformed path must sort
+               here or a sorted query silently loses its order. *)
+            let result = Exec.Presentation.apply_order q result in
+            let io = Pager.diff_since pager before in
+            Optimizer.Planner.drop_temps db.catalog program;
+            Ok
+              {
+                result;
+                used_transformation = true;
+                program = Some program;
+                io;
+              }
+        | exception Optimizer.Planner.Planning_error msg -> Error msg)
+  in
+  match strategy with
+  | Nested_iteration -> run_nested ()
+  | Transformed force -> run_transformed force
+  | Auto -> (
+      match run_transformed Optimizer.Planner.Auto with
+      | Ok _ as ok -> ok
+      | Error msg ->
+          (match on_fallback with
+          | Some warn ->
+              warn
+                ("transformed strategy refused (" ^ msg
+               ^ "); falling back to nested iteration")
+          | None -> ());
+          run_nested ())
+
+let run ?strategy ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db text :
+    (execution, string) result =
+  match prepare ?rewrite_not_in db text with
+  | Error _ as e -> e
+  | Ok p -> run_prepared ?strategy ?mode ?engine ?trace ?on_fallback db p
 
 (* Convenience: the relation only. *)
 let query db text : (Relation.t, string) result =

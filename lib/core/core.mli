@@ -79,6 +79,42 @@ type execution = {
   io : Pager.stats;  (** page traffic of this execution only *)
 }
 
+type prepared = {
+  normalized : string;
+      (** canonical rendering of the analyzed AST ([Sql.Pp]); two statements
+          differing only in whitespace/case normalize identically, which is
+          what the server's plan cache keys on *)
+  query : Sql.Ast.query;  (** the analyzed AST *)
+  rewrite_not_in : bool;  (** the flag the transformation was prepared with *)
+  program : (Optimizer.Program.t, string) result Lazy.t;
+      (** the NEST-G transformation, forced at most once ([Error] = not
+          transformable).  Not thread-safe to force concurrently — the
+          server forces it under its statement lock. *)
+}
+(** A statement with the per-statement pipeline work — parse, analyze,
+    normalize, transform — done once, ready to be executed many times.
+    This is the unit the server's plan cache stores. *)
+
+(** Parse + analyze + (lazily) transform one statement. *)
+val prepare : ?rewrite_not_in:bool -> db -> string -> (prepared, string) result
+
+(** {!prepare} for an already-analyzed query (no re-parse). *)
+val prepare_query : ?rewrite_not_in:bool -> db -> Sql.Ast.query -> prepared
+
+(** Execute a prepared statement: exactly {!run} minus the per-statement
+    work.  [run p] and [run_prepared (prepare p)] are result-identical —
+    the plan-cache test suite holds this across strategies, modes and
+    engines under the oracle comparator. *)
+val run_prepared :
+  ?strategy:strategy ->
+  ?mode:Optimizer.Planner.mode ->
+  ?engine:Exec.Plan.engine ->
+  ?trace:(string -> unit) ->
+  ?on_fallback:(string -> unit) ->
+  db ->
+  prepared ->
+  (execution, string) result
+
 (** Run a query.  [trace] turns on per-operator JSON event tracing for
     plan-based executions (one line per operator open / next-batch /
     close; see [docs/EXPLAIN.md]).  [rewrite_not_in] and [mode] parameterize

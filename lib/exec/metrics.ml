@@ -39,6 +39,20 @@ let add_io m (s : Storage.Pager.stats) =
   m.physical_reads <- m.physical_reads + s.Storage.Pager.physical_reads;
   m.physical_writes <- m.physical_writes + s.Storage.Pager.physical_writes
 
+(* Fold [src] into [dst].  Sessions (the server layer) keep one record per
+   connection and merge each statement's totals into it, so rows, wall-clock
+   and page traffic accumulate across statements exactly the way a single
+   operator accumulates across [next] calls. *)
+let merge dst ~src =
+  dst.rows <- dst.rows + src.rows;
+  dst.next_calls <- dst.next_calls + src.next_calls;
+  dst.batches <- dst.batches + src.batches;
+  dst.build_s <- dst.build_s +. src.build_s;
+  dst.next_s <- dst.next_s +. src.next_s;
+  dst.logical_reads <- dst.logical_reads + src.logical_reads;
+  dst.physical_reads <- dst.physical_reads + src.physical_reads;
+  dst.physical_writes <- dst.physical_writes + src.physical_writes
+
 let total_s m = m.build_s +. m.next_s
 
 (* Output rows per [next] call.  1.0 for tuple operators by construction;

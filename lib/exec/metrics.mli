@@ -26,6 +26,11 @@ val create : unit -> t
 (** Accumulate a pager counter delta into the record. *)
 val add_io : t -> Storage.Pager.stats -> unit
 
+(** [merge dst ~src] folds every counter of [src] into [dst].  The server's
+    per-session accounting merges one record per executed statement into a
+    session-lifetime total. *)
+val merge : t -> src:t -> unit
+
 (** [build_s + next_s]. *)
 val total_s : t -> float
 

@@ -32,6 +32,17 @@ type join_choice = Auto | Force_nl | Force_merge | Force_hash
    pool, so page-I/O accounting stays honest. *)
 type mode = Paper1987 | Hybrid
 
+let mode_name = function Paper1987 -> "paper1987" | Hybrid -> "hybrid"
+
+(* The one place a mode name is parsed (CLI flags, the server protocol):
+   anything unrecognized is [None] so every surface can fail loudly instead
+   of falling back to a default the user didn't ask for. *)
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "paper1987" | "paper" -> Some Paper1987
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Cardinality / page estimation (Selinger-style defaults)             *)
 (* ------------------------------------------------------------------ *)

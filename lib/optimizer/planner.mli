@@ -28,6 +28,14 @@ type mode = Paper1987 | Hybrid
     [Hash_group_agg]) under the blended I/O+CPU cost model; hash paths
     are only taken when their build state fits the buffer pool. *)
 
+(** ["paper1987"] / ["hybrid"] — the names {!mode_of_string} accepts. *)
+val mode_name : mode -> string
+
+(** Case-insensitive; also accepts ["paper"] for [Paper1987].  [None] for
+    anything else — callers (CLI [--mode], the server protocol) must treat
+    that as an error, never as a silent default. *)
+val mode_of_string : string -> mode option
+
 type lowered = {
   plan : Exec.Plan.node;
   out_sorted : int list option;

@@ -1,0 +1,60 @@
+(** The shared LRU plan cache of [nestsql serve].
+
+    Maps a {!key} — the normalized statement text plus every planner knob
+    that can change what executing the statement does — to a
+    [Core.prepared], so each distinct statement is parsed, analyzed,
+    classified and transformed once and executed many times.  O(1)
+    lookup/insert via a hashtable over an intrusive recency list (the same
+    shape as the pager's LRU), guarded by an internal mutex so sessions on
+    different connections share it safely.
+
+    Consistency argument (DESIGN.md §14): a cached entry is only ever
+    reused against the same catalog contents it was prepared against —
+    {!invalidate} drops {e every} entry whenever [load] replaces a table —
+    and [Core.run_prepared] on a cached entry runs the identical
+    verify/plan/execute path as a fresh [Core.run], so cached and fresh
+    plans are result-identical by construction.  The property suite holds
+    exactly that under the oracle comparator. *)
+
+type key = {
+  normalized : string;  (** [Core.prepared.normalized] — the AST rendering *)
+  mode : Optimizer.Planner.mode;
+  engine : Exec.Plan.engine;
+  rewrite_not_in : bool;
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries dropped for capacity *)
+  invalidations : int;  (** entries dropped by {!invalidate} *)
+}
+
+type t
+
+(** [create ~capacity ()] — [capacity] is clamped to at least 1. *)
+val create : capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Live entries (≤ capacity). *)
+val length : t -> int
+
+(** Lookup; bumps the entry to most-recently-used and counts a hit or a
+    miss. *)
+val find : t -> key -> Core.prepared option
+
+(** Insert (or refresh) an entry, evicting from the LRU end beyond
+    capacity.  Does not count a hit or miss. *)
+val add : t -> key -> Core.prepared -> unit
+
+(** Drop every entry (table contents changed under the cached analyses);
+    returns how many were dropped.  Each drop counts as an invalidation,
+    not an eviction. *)
+val invalidate : t -> int
+
+(** Monotonic count of {!invalidate} calls — sessions compare it against
+    the epoch their prepared statements were built in to notice staleness. *)
+val epoch : t -> int
+
+val counters : t -> counters

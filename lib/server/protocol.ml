@@ -1,0 +1,480 @@
+(* The line-oriented JSON protocol of [nestsql serve] (docs/SERVER.md).
+
+   One JSON object per line in each direction.  The JSON machinery is
+   hand-rolled because the repository carries no JSON dependency: a small
+   value type, a strict recursive-descent parser and a single-line printer
+   cover everything the protocol needs. *)
+
+module Value = Relalg.Value
+
+(* ------------------------------------------------------------------ *)
+(* JSON values                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* ---------------- printing ---------------- *)
+
+let buf_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        (* JSON has no NaN/Infinity; clamp to null like most printers. *)
+        if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+          Buffer.add_string b "null"
+        else if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.1f" f)
+        else Buffer.add_string b (Printf.sprintf "%.12g" f)
+    | Str s -> buf_escaped b s
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            go item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            buf_escaped b k;
+            Buffer.add_char b ':';
+            go v)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b
+
+(* ---------------- parsing ---------------- *)
+
+exception Bad of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; value)
+    else fail ("bad literal (expected " ^ word ^ ")")
+  in
+  (* \uXXXX escapes: decode to UTF-8, combining surrogate pairs. *)
+  let add_utf8 b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some v -> v
+    | None -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+             let code = hex4 () in
+             if code >= 0xD800 && code <= 0xDBFF then
+               (* high surrogate: require the paired low surrogate *)
+               if
+                 !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let low = hex4 () in
+                 if low >= 0xDC00 && low <= 0xDFFF then
+                   add_utf8 b
+                     (0x10000
+                     + ((code - 0xD800) lsl 10)
+                     + (low - 0xDC00))
+                 else fail "unpaired surrogate"
+               end
+               else fail "unpaired surrogate"
+             else add_utf8 b code
+         | _ -> fail "unknown escape");
+        go ()
+      end
+      else if Char.code c < 0x20 then fail "raw control character in string"
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do advance () done;
+    let text = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+    in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f (* out of int range *)
+          | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error ("bad JSON: " ^ msg)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Value coercions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value : Value.t -> json = function
+  | Value.Null -> Null
+  | Value.Int i -> Int i
+  | Value.Float f -> Float f
+  | Value.Str s -> Str s
+  | Value.Date d -> Str (Fmt.str "%a" Value.pp_date d)
+
+let ty_of_string s =
+  match String.lowercase_ascii s with
+  | "int" -> Some Value.Tint
+  | "float" -> Some Value.Tfloat
+  | "str" | "string" | "text" -> Some Value.Tstr
+  | "date" -> Some Value.Tdate
+  | _ -> None
+
+let value_of_json (ty : Value.ty) (j : json) : (Value.t, string) result =
+  match (ty, j) with
+  | _, Null -> Ok Value.Null
+  | Value.Tint, Int i -> Ok (Value.Int i)
+  | Value.Tfloat, Int i -> Ok (Value.Float (float_of_int i))
+  | Value.Tfloat, Float f -> Ok (Value.Float f)
+  | (Value.Tstr | Value.Tdate), Str s -> (
+      match Value.coerce_string_literal s ty with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "cannot read %S as %s" s (Value.type_name ty)))
+  | _ ->
+      Error
+        (Printf.sprintf "cannot read %s cell as %s" (to_string j)
+           (Value.type_name ty))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type knobs = {
+  strategy : Core.strategy option;
+  mode : Optimizer.Planner.mode option;
+  engine : Exec.Plan.engine option;
+  rewrite_not_in : bool option;
+}
+
+let no_knobs =
+  { strategy = None; mode = None; engine = None; rewrite_not_in = None }
+
+type request =
+  | Query of { sql : string; knobs : knobs }
+  | Prepare of { name : string; sql : string; knobs : knobs }
+  | Execute of { name : string }
+  | Explain of { sql : string; analyze : bool; knobs : knobs }
+  | Lint of { sql : string }
+  | Load of {
+      table : string;
+      columns : (string * Value.ty) list;
+      rows : Value.t list list;
+    }
+  | Stats
+  | Close
+
+let verb_name = function
+  | Query _ -> "query"
+  | Prepare _ -> "prepare"
+  | Execute _ -> "execute"
+  | Explain _ -> "explain"
+  | Lint _ -> "lint"
+  | Load _ -> "load"
+  | Stats -> "stats"
+  | Close -> "close"
+
+(* Field accessors returning protocol-grade error messages. *)
+
+let str_field j name =
+  match member name j with
+  | Some (Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let bool_field_opt j name =
+  match member name j with
+  | Some (Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+  | None -> Ok None
+
+let ( let* ) = Result.bind
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Core.Auto
+  | "nested" -> Some Core.Nested_iteration
+  | "transformed" -> Some (Core.Transformed Optimizer.Planner.Auto)
+  | _ -> None
+
+(* The optional planner knobs shared by query/prepare/explain.  Unknown
+   names are errors, mirroring the CLI's strict --mode/--engine parsing:
+   a typo must never silently select a default. *)
+let knobs_of_json j =
+  let parse_with name of_string what =
+    match member name j with
+    | None -> Ok None
+    | Some (Str s) -> (
+        match of_string s with
+        | Some v -> Ok (Some v)
+        | None -> Error (Printf.sprintf "unknown %s %S (want %s)" name s what))
+    | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  in
+  let* strategy =
+    parse_with "strategy" strategy_of_string "auto, nested or transformed"
+  in
+  let* mode =
+    parse_with "mode" Optimizer.Planner.mode_of_string "paper1987 or hybrid"
+  in
+  let* engine =
+    parse_with "engine" Exec.Plan.engine_of_string "tuple or vectorized"
+  in
+  let* rewrite_not_in = bool_field_opt j "rewrite_not_in" in
+  Ok { strategy; mode; engine; rewrite_not_in }
+
+let columns_of_json = function
+  | List cols ->
+      let parse_col = function
+        | List [ Str name; Str ty ] -> (
+            match ty_of_string ty with
+            | Some ty -> Ok (name, ty)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown column type %S (want int, float, str or date)" ty))
+        | _ -> Error "each column must be [\"NAME\", \"TYPE\"]"
+      in
+      List.fold_right
+        (fun col acc ->
+          let* acc = acc in
+          let* c = parse_col col in
+          Ok (c :: acc))
+        cols (Ok [])
+  | _ -> Error "field \"columns\" must be a list"
+
+let rows_of_json columns = function
+  | List rows ->
+      let ncols = List.length columns in
+      let parse_row i = function
+        | List cells when List.length cells = ncols ->
+            List.fold_right
+              (fun ((_, ty), cell) acc ->
+                let* acc = acc in
+                let* v = value_of_json ty cell in
+                Ok (v :: acc))
+              (List.combine columns cells)
+              (Ok [])
+        | List cells ->
+            Error
+              (Printf.sprintf "row %d has %d cells (want %d)" i
+                 (List.length cells) ncols)
+        | _ -> Error (Printf.sprintf "row %d must be a list" i)
+      in
+      let rec go i = function
+        | [] -> Ok []
+        | r :: rest ->
+            let* row = parse_row i r in
+            let* rest = go (i + 1) rest in
+            Ok (row :: rest)
+      in
+      go 0 rows
+  | _ -> Error "field \"rows\" must be a list"
+
+let request_of_line line : (request, string) result =
+  let* j = parse line in
+  let* op = str_field j "op" in
+  match String.lowercase_ascii op with
+  | "query" ->
+      let* sql = str_field j "sql" in
+      let* knobs = knobs_of_json j in
+      Ok (Query { sql; knobs })
+  | "prepare" ->
+      let* name = str_field j "name" in
+      let* sql = str_field j "sql" in
+      let* knobs = knobs_of_json j in
+      Ok (Prepare { name; sql; knobs })
+  | "execute" ->
+      let* name = str_field j "name" in
+      Ok (Execute { name })
+  | "explain" ->
+      let* sql = str_field j "sql" in
+      let* analyze = bool_field_opt j "analyze" in
+      let* knobs = knobs_of_json j in
+      Ok (Explain { sql; analyze = Option.value analyze ~default:false; knobs })
+  | "lint" ->
+      let* sql = str_field j "sql" in
+      Ok (Lint { sql })
+  | "load" ->
+      let* table = str_field j "table" in
+      let* columns =
+        match member "columns" j with
+        | Some c -> columns_of_json c
+        | None -> Error "missing field \"columns\""
+      in
+      let* rows =
+        match member "rows" j with
+        | Some r -> rows_of_json columns r
+        | None -> Error "missing field \"rows\""
+      in
+      Ok (Load { table; columns; rows })
+  | "stats" -> Ok Stats
+  | "close" -> Ok Close
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown op %S (want query, prepare, execute, explain, lint, \
+            load, stats or close)"
+           other)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ok_response fields = to_string (Obj (("ok", Bool true) :: fields))
+let error_response msg = to_string (Obj [ ("ok", Bool false); ("error", Str msg) ])

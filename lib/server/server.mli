@@ -1,0 +1,46 @@
+(** The long-lived [nestsql serve] engine: sessions over a shared database
+    and plan cache, a protocol dispatcher, and a thread-per-connection
+    socket loop (docs/SERVER.md; architecture in DESIGN.md §14).
+
+    Concurrency model: connections run on their own threads; every
+    catalog-touching operation — analysis, transformation, temp
+    materialization, [load] — runs under one statement mutex, because the
+    catalog, pager and temp-table namespace are shared mutable state.
+    Sessions therefore interleave at statement granularity while network
+    I/O overlaps freely.  The plan cache has its own internal lock; a
+    [load] replaces tables and drops every cached plan before any other
+    statement can run, which is the whole cache-consistency argument. *)
+
+module Protocol = Protocol
+module Plan_cache = Plan_cache
+module Session = Session
+
+type t
+
+(** [create ?cache_capacity db] — a server over [db] with a fresh plan
+    cache (default capacity 128). *)
+val create : ?cache_capacity:int -> Core.db -> t
+
+val cache : t -> Plan_cache.t
+
+(** Register a new session (bumps the active/total counters).  The socket
+    loop calls this per accepted connection; tests call it directly to
+    drive {!handle_line} without sockets. *)
+val open_session : t -> Session.t
+
+val close_session : t -> Session.t -> unit
+
+(** Handle one request line, returning the response line (no trailing
+    newline) and whether the connection should stay open.  This is the
+    whole protocol — the socket loop is just plumbing around it. *)
+val handle_line : t -> Session.t -> string -> string * [ `Continue | `Close ]
+
+(** Bind, listen and serve until {!shutdown}.  A pre-existing Unix-domain
+    socket file at the same path is replaced.  [on_ready] fires once the
+    socket is listening (the CLI prints its banner from it; tests use it to
+    synchronize).  Blocks; run it in its own thread to keep control. *)
+val serve : ?backlog:int -> ?on_ready:(unit -> unit) -> t -> Unix.sockaddr -> unit
+
+(** Stop accepting (current connections finish their in-flight request;
+    the accept loop notices within ~a quarter second). *)
+val shutdown : t -> unit

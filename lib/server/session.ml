@@ -1,0 +1,43 @@
+(* Per-connection state: named prepared statements plus a lifetime
+   Exec.Metrics record.  Reusing the executor's metrics type means session
+   accounting and EXPLAIN ANALYZE speak the same counters. *)
+
+type entry = {
+  sql : string;
+  knobs : Protocol.knobs;
+  mutable prep : Core.prepared;
+  mutable cache_epoch : int;
+}
+
+type t = {
+  id : int;
+  prepared : (string, entry) Hashtbl.t;
+  totals : Exec.Metrics.t;
+  mutable statements : int;
+}
+
+let create ~id =
+  { id; prepared = Hashtbl.create 8; totals = Exec.Metrics.create (); statements = 0 }
+
+let record t ~rows ~wall_s ~(io : Storage.Pager.stats) =
+  let m = Exec.Metrics.create () in
+  m.Exec.Metrics.rows <- rows;
+  m.Exec.Metrics.next_s <- wall_s;
+  m.Exec.Metrics.next_calls <- 1;
+  Exec.Metrics.add_io m io;
+  Exec.Metrics.merge t.totals ~src:m;
+  t.statements <- t.statements + 1
+
+let to_json t : Protocol.json =
+  let m = t.totals in
+  Protocol.Obj
+    [
+      ("id", Protocol.Int t.id);
+      ("statements", Protocol.Int t.statements);
+      ("prepared", Protocol.Int (Hashtbl.length t.prepared));
+      ("rows", Protocol.Int m.Exec.Metrics.rows);
+      ("exec_s", Protocol.Float m.Exec.Metrics.next_s);
+      ("logical_reads", Protocol.Int m.Exec.Metrics.logical_reads);
+      ("physical_reads", Protocol.Int m.Exec.Metrics.physical_reads);
+      ("physical_writes", Protocol.Int m.Exec.Metrics.physical_writes);
+    ]

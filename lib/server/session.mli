@@ -1,0 +1,33 @@
+(** Per-connection server state (docs/SERVER.md, "Session lifecycle").
+
+    A session owns its named prepared statements and a lifetime
+    [Exec.Metrics] record that each executed statement's totals are merged
+    into — rows delivered, wall-clock inside execution, page traffic — so
+    [stats] can report per-session work without any global bookkeeping. *)
+
+type entry = {
+  sql : string;  (** the original statement text, for re-preparation *)
+  knobs : Protocol.knobs;  (** knobs fixed at [prepare] time *)
+  mutable prep : Core.prepared;
+  mutable cache_epoch : int;
+      (** the plan cache's {!Plan_cache.epoch} when [prep] was built; a
+          mismatch after a [load] means [prep] analyzed dropped tables and
+          must be rebuilt before it may run again *)
+}
+(** One named prepared statement. *)
+
+type t = {
+  id : int;
+  prepared : (string, entry) Hashtbl.t;
+  totals : Exec.Metrics.t;  (** lifetime rows / wall-clock / page I/O *)
+  mutable statements : int;  (** statements executed (query + execute) *)
+}
+
+val create : id:int -> t
+
+(** Fold one execution into the session totals. *)
+val record :
+  t -> rows:int -> wall_s:float -> io:Storage.Pager.stats -> unit
+
+(** The [stats] verb's ["session"] object. *)
+val to_json : t -> Protocol.json

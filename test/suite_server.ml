@@ -1,0 +1,510 @@
+(* The server layer: protocol JSON round trips and request parsing, the
+   shared LRU plan cache (hit/miss/eviction/invalidation accounting), the
+   cached-plan ≡ fresh-plan correctness property under the oracle
+   comparator, end-to-end sessions through [Server.handle_line] (no
+   sockets), a real concurrent Unix-socket run, and the CLI's strict
+   --engine/--mode validation. *)
+
+module P = Server.Protocol
+module Cache = Server.Plan_cache
+module Value = Relalg.Value
+module Relation = Relalg.Relation
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q2 =
+  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
+   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')"
+
+let q5 =
+  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY WHERE \
+   SUPPLY.PNUM < PARTS.PNUM)"
+
+let define_fixture db name rel =
+  Core.define_table db name
+    (List.map
+       (fun (c : Core.Schema.column) -> (c.Core.Schema.name, c.Core.Schema.ty))
+       (Core.Schema.columns (Relation.schema rel)))
+    (List.map Relalg.Row.to_list (Relation.rows rel))
+
+let count_bug_db () =
+  let db = Core.create_db ~buffer_pages:8 ~page_bytes:256 () in
+  define_fixture db "PARTS" Workload.Fixtures.kiessling_parts;
+  define_fixture db "SUPPLY" Workload.Fixtures.kiessling_supply;
+  db
+
+let parse_exn line =
+  match P.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "bad JSON %S: %s" line e
+
+let is_ok j = P.member "ok" j = Some (P.Bool true)
+
+let str_member name j =
+  match P.member name j with
+  | Some (P.Str s) -> s
+  | other -> Alcotest.failf "expected string field %S, got %s" name
+               (match other with Some v -> P.to_string v | None -> "nothing")
+
+let int_member name j =
+  match P.member name j with
+  | Some (P.Int i) -> i
+  | other -> Alcotest.failf "expected int field %S, got %s" name
+               (match other with Some v -> P.to_string v | None -> "nothing")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: JSON round trips and request parsing                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats are excluded from the generator (their printing is not
+   digit-exact); they get golden tests below. *)
+let json_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return P.Null;
+               map (fun b -> P.Bool b) bool;
+               map (fun i -> P.Int i) int;
+               map (fun s -> P.Str s) (small_string ~gen:printable);
+             ]
+         in
+         if n = 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> P.List l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun l -> P.Obj l)
+                 (list_size (int_bound 4)
+                    (pair (small_string ~gen:printable) (self (n / 2))));
+             ])
+
+let test_json_roundtrip =
+  QCheck2.Test.make ~name:"protocol: to_string |> parse round-trips"
+    ~count:500 json_gen (fun j ->
+      match P.parse (P.to_string j) with
+      | Ok j' -> j = j'
+      | Error e -> QCheck2.Test.fail_reportf "re-parse failed: %s" e)
+
+let test_json_goldens () =
+  let check name expect line =
+    Alcotest.(check bool) name true (parse_exn line = expect)
+  in
+  check "escapes" (P.Str "A\"\\\n\tB") {|"A\"\\\n\tB"|};
+  check "surrogate pair"
+    (P.Str "\xf0\x9f\x90\xab")
+    {|"🐫"|};
+  check "nested"
+    (P.Obj [ ("a", P.List [ P.Int 1; P.Float 2.5; P.Null ]) ])
+    {| {"a": [1, 2.5, null]} |};
+  check "negative + exponent"
+    (P.List [ P.Int (-3); P.Float 1e3 ])
+    {|[-3, 1.0e3]|};
+  (match P.parse "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match P.parse "{\"a\": tru}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad literal accepted");
+  (* float printing stays JSON-legal and close *)
+  match parse_exn (P.to_string (P.Float 0.1)) with
+  | P.Float f -> Alcotest.(check bool) "0.1 close" true (Float.abs (f -. 0.1) < 1e-9)
+  | _ -> Alcotest.fail "float did not round-trip as float"
+
+let test_request_parsing () =
+  (match P.request_of_line {|{"op": "query", "sql": "SELECT 1", "engine": "vectorized", "mode": "hybrid"}|} with
+  | Ok (P.Query { sql; knobs }) ->
+      Alcotest.(check string) "sql" "SELECT 1" sql;
+      Alcotest.(check bool) "engine" true
+        (knobs.P.engine = Some Exec.Plan.Vectorized);
+      Alcotest.(check bool) "mode" true
+        (knobs.P.mode = Some Optimizer.Planner.Hybrid)
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error e -> Alcotest.fail e);
+  (* unknown knob values are errors, never silent defaults *)
+  (match P.request_of_line {|{"op": "query", "sql": "x", "engine": "vectorised"}|} with
+  | Error e ->
+      Alcotest.(check bool) "names the field" true
+        (Astring.String.is_infix ~affix:"engine" e)
+  | Ok _ -> Alcotest.fail "typo engine accepted");
+  (match P.request_of_line {|{"op": "query", "sql": "x", "mode": "fast"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "typo mode accepted");
+  (match P.request_of_line {|{"op": "teleport"}|} with
+  | Error e ->
+      Alcotest.(check bool) "lists the verbs" true
+        (Astring.String.is_infix ~affix:"prepare" e)
+  | Ok _ -> Alcotest.fail "unknown op accepted");
+  (* load: typed cells, NULLs, dates *)
+  match
+    P.request_of_line
+      {|{"op": "load", "table": "T", "columns": [["A", "int"], ["D", "date"]], "rows": [[1, "1979-06-01"], [null, null]]}|}
+  with
+  | Ok (P.Load { table; columns; rows }) ->
+      Alcotest.(check string) "table" "T" table;
+      Alcotest.(check int) "columns" 2 (List.length columns);
+      Alcotest.(check bool) "date cell" true
+        (match rows with
+        | [ [ Value.Int 1; Value.Date _ ]; [ Value.Null; Value.Null ] ] -> true
+        | _ -> false)
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache: LRU accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let key text =
+  {
+    Cache.normalized = text;
+    mode = Optimizer.Planner.Paper1987;
+    engine = Exec.Plan.Tuple;
+    rewrite_not_in = false;
+  }
+
+let test_cache_lru () =
+  let db = count_bug_db () in
+  let prep sql =
+    match Core.prepare db sql with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cache = Cache.create ~capacity:2 () in
+  let p = prep q2 in
+  Cache.add cache (key "a") p;
+  Cache.add cache (key "b") p;
+  Alcotest.(check bool) "a hits" true (Cache.find cache (key "a") <> None);
+  (* b is now LRU; inserting c evicts it *)
+  Cache.add cache (key "c") p;
+  Alcotest.(check int) "still 2 entries" 2 (Cache.length cache);
+  Alcotest.(check bool) "b evicted" true (Cache.find cache (key "b") = None);
+  Alcotest.(check bool) "a survived" true (Cache.find cache (key "a") <> None);
+  let c = Cache.counters cache in
+  Alcotest.(check int) "hits" 2 c.Cache.hits;
+  Alcotest.(check int) "misses" 1 c.Cache.misses;
+  Alcotest.(check int) "evictions" 1 c.Cache.evictions;
+  (* knobs are part of the key *)
+  Alcotest.(check bool) "different engine = different key" true
+    (Cache.find cache
+       { (key "a") with Cache.engine = Exec.Plan.Vectorized }
+    = None);
+  let epoch_before = Cache.epoch cache in
+  Alcotest.(check int) "invalidate drops all" 2 (Cache.invalidate cache);
+  Alcotest.(check int) "empty" 0 (Cache.length cache);
+  Alcotest.(check int) "epoch bumped" (epoch_before + 1) (Cache.epoch cache);
+  Alcotest.(check int) "invalidations" 2 (Cache.counters cache).Cache.invalidations
+
+(* ------------------------------------------------------------------ *)
+(* Cached plan ≡ fresh plan (the oracle comparator)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* For random oracle cases, running a [Core.prepare]d statement twice must
+   be result-identical to a fresh [Core.run] — across planner modes and
+   engines, under the NULL-aware comparator the differential oracle uses. *)
+let test_cached_equals_fresh =
+  QCheck2.Test.make ~name:"plan cache: cached ≡ fresh across modes/engines"
+    ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let case = Oracle.Gen.case rng in
+      let db = Oracle.Repro.build_db case in
+      match Core.prepare db case.Oracle.Repro.sql with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok p ->
+          List.for_all
+            (fun (mode, engine) ->
+              let fresh = Core.run ~mode ~engine db case.Oracle.Repro.sql in
+              let cached () = Core.run_prepared ~mode ~engine db p in
+              let agree a b =
+                match (a, b) with
+                | Ok (ea : Core.execution), Ok (eb : Core.execution) ->
+                    ea.Core.used_transformation = eb.Core.used_transformation
+                    && Oracle.Matrix.results_agree ~q:p.Core.query
+                         ~reference:ea.Core.result ~got:eb.Core.result
+                | Error a, Error b -> a = b
+                | _ -> false
+              in
+              (* twice: first forces the lazy transform, second reuses it *)
+              agree fresh (cached ()) && agree fresh (cached ()))
+            Optimizer.Planner.
+              [
+                (Paper1987, Exec.Plan.Tuple);
+                (Paper1987, Exec.Plan.Vectorized);
+                (Hybrid, Exec.Plan.Tuple);
+                (Hybrid, Exec.Plan.Vectorized);
+              ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end sessions through handle_line (no sockets)                *)
+(* ------------------------------------------------------------------ *)
+
+let send server session line =
+  let response, disposition = Server.handle_line server session line in
+  (parse_exn response, disposition)
+
+let send_ok server session line =
+  let j, _ = send server session line in
+  if not (is_ok j) then
+    Alcotest.failf "request %S failed: %s" line (P.to_string j);
+  j
+
+let query_line ?(extra = "") sql =
+  Printf.sprintf {|{"op": "query", "sql": %s%s}|} (P.to_string (P.Str sql)) extra
+
+let test_server_prepare_execute () =
+  let server = Server.create ~cache_capacity:8 (count_bug_db ()) in
+  let s = Server.open_session server in
+  (* prepare once: a cache miss; execute twice: two cache hits *)
+  let j =
+    send_ok server s
+      (Printf.sprintf {|{"op": "prepare", "name": "q2", "sql": %s}|}
+         (P.to_string (P.Str q2)))
+  in
+  Alcotest.(check string) "prepare misses" "miss" (str_member "cache" j);
+  Alcotest.(check string) "classification" "type-JA"
+    (str_member "classification" j);
+  let e1 = send_ok server s {|{"op": "execute", "name": "q2"}|} in
+  Alcotest.(check string) "first execute hits" "hit" (str_member "cache" e1);
+  let e2 = send_ok server s {|{"op": "execute", "name": "q2"}|} in
+  Alcotest.(check string) "second execute hits" "hit" (str_member "cache" e2);
+  Alcotest.(check bool) "same rows" true
+    (P.member "rows" e1 = P.member "rows" e2);
+  (* the same statement via the query verb reuses the same cache entry *)
+  let qj = send_ok server s (query_line q2) in
+  Alcotest.(check string) "query hits too" "hit" (str_member "cache" qj);
+  (* a different engine is a different key *)
+  let vj = send_ok server s (query_line ~extra:{|, "engine": "vectorized"|} q2) in
+  Alcotest.(check string) "vectorized cell misses" "miss" (str_member "cache" vj);
+  Alcotest.(check bool) "engines agree" true
+    (P.member "rows" qj = P.member "rows" vj);
+  let stats = send_ok server s {|{"op": "stats"}|} in
+  let cache = Option.get (P.member "plan_cache" stats) in
+  Alcotest.(check bool) "hits counted" true (int_member "hits" cache >= 3);
+  Alcotest.(check int) "misses counted" 2 (int_member "misses" cache);
+  let session = Option.get (P.member "session" stats) in
+  Alcotest.(check int) "statements" 4 (int_member "statements" session);
+  Alcotest.(check bool) "rows accounted" true (int_member "rows" session >= 4);
+  (* close ends the conversation *)
+  let _, disposition = send server s {|{"op": "close"}|} in
+  Alcotest.(check bool) "close closes" true (disposition = `Close);
+  Server.close_session server s
+
+let test_server_load_invalidates () =
+  let server = Server.create ~cache_capacity:8 (count_bug_db ()) in
+  let s = Server.open_session server in
+  let j = send_ok server s (query_line q2) in
+  Alcotest.(check string) "first run misses" "miss" (str_member "cache" j);
+  ignore
+    (send_ok server s
+       (Printf.sprintf {|{"op": "prepare", "name": "q2", "sql": %s}|}
+          (P.to_string (P.Str q2))));
+  (* replace both tables: every cached plan must be dropped *)
+  let load =
+    send_ok server s
+      {|{"op": "load", "table": "PARTS", "columns": [["PNUM", "int"], ["QOH", "int"]], "rows": [[3, 0], [4, 1]]}|}
+  in
+  Alcotest.(check bool) "invalidated" true (int_member "invalidated" load >= 1);
+  ignore
+    (send_ok server s
+       {|{"op": "load", "table": "SUPPLY", "columns": [["PNUM", "int"], ["QUAN", "int"], ["SHIPDATE", "date"]], "rows": [[4, 7, "1979-06-01"]]}|});
+  (* the prepared statement re-analyzes against the new catalog: QOH=0
+     matches COUNT()=0 for PNUM 3 (no supply rows), QOH=1 matches the one
+     pre-1980 shipment of PNUM 4 *)
+  let e = send_ok server s {|{"op": "execute", "name": "q2"}|} in
+  Alcotest.(check bool) "re-prepared against new data" true
+    (match P.member "rows" e with
+    | Some (P.List [ P.List [ P.Int 3 ]; P.List [ P.Int 4 ] ])
+    | Some (P.List [ P.List [ P.Int 4 ]; P.List [ P.Int 3 ] ]) ->
+        true
+    | _ -> false);
+  Alcotest.(check string) "and was a miss" "miss" (str_member "cache" e);
+  (* a fresh query agrees with the freshly planned answer *)
+  let q = send_ok server s (query_line q2) in
+  Alcotest.(check bool) "query after load agrees" true
+    (P.member "rows" q = P.member "rows" e);
+  Server.close_session server s
+
+let test_server_eviction_under_tiny_capacity () =
+  let server = Server.create ~cache_capacity:1 (count_bug_db ()) in
+  let s = Server.open_session server in
+  ignore (send_ok server s (query_line q2));
+  ignore (send_ok server s (query_line "SELECT PNUM FROM PARTS"));
+  ignore (send_ok server s (query_line q2));
+  let stats = send_ok server s {|{"op": "stats"}|} in
+  let cache = Option.get (P.member "plan_cache" stats) in
+  Alcotest.(check int) "capacity" 1 (int_member "capacity" cache);
+  Alcotest.(check int) "entries" 1 (int_member "entries" cache);
+  Alcotest.(check bool) "evictions happened" true
+    (int_member "evictions" cache >= 2);
+  Alcotest.(check int) "every run re-planned" 3 (int_member "misses" cache);
+  Server.close_session server s
+
+let test_server_errors () =
+  let server = Server.create (count_bug_db ()) in
+  let s = Server.open_session server in
+  let expect_error line affix =
+    let j, disposition = send server s line in
+    Alcotest.(check bool) ("not ok: " ^ line) false (is_ok j);
+    Alcotest.(check bool) ("stays open: " ^ line) true (disposition = `Continue);
+    let msg = str_member "error" j in
+    if not (Astring.String.is_infix ~affix msg) then
+      Alcotest.failf "error %S does not mention %S" msg affix
+  in
+  expect_error "not json" "bad JSON";
+  expect_error {|{"sql": "SELECT 1"}|} "op";
+  expect_error {|{"op": "query", "sql": "SELECT FROM"}|} "";
+  expect_error {|{"op": "query", "sql": "SELECT PNUM FROM PARTS", "engine": "warp"}|} "engine";
+  expect_error {|{"op": "execute", "name": "nope"}|} "unknown prepared";
+  expect_error
+    {|{"op": "load", "table": "T", "columns": [["A", "int"]], "rows": [["x"]]}|}
+    "cannot read";
+  (* lint still works and reports the COUNT-bug warning through the wire *)
+  let j = send_ok server s (Printf.sprintf {|{"op": "lint", "sql": %s}|} (P.to_string (P.Str q2))) in
+  Alcotest.(check bool) "NQ001 over the wire" true
+    (Astring.String.is_infix ~affix:"NQ001" (P.to_string j));
+  Server.close_session server s
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency over a real Unix socket                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_concurrent_sessions () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nestsql_test_%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.create ~cache_capacity:16 (count_bug_db ()) in
+  let ready = ref false in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Server.serve server (Unix.ADDR_UNIX path) ~on_ready:(fun () ->
+            ready := true))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not !ready) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "server came up" true !ready;
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let client k =
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      for i = 1 to 5 do
+        let sql = if (k + i) mod 2 = 0 then q2 else "SELECT PNUM FROM PARTS" in
+        output_string oc (query_line sql);
+        output_char oc '\n';
+        flush oc;
+        let j = parse_exn (input_line ic) in
+        if not (is_ok j) then failwith ("response not ok: " ^ P.to_string j)
+      done;
+      Unix.close fd
+    with exn ->
+      Mutex.lock failures;
+      failed := Printexc.to_string exn :: !failed;
+      Mutex.unlock failures
+  in
+  let clients = List.init 6 (fun k -> Thread.create client k) in
+  List.iter Thread.join clients;
+  (match !failed with
+  | [] -> ()
+  | msgs -> Alcotest.failf "client failures: %s" (String.concat "; " msgs));
+  (* one more session reads the stats: 6 client sessions total, cache hits
+     from the repeated statements *)
+  let s = Server.open_session server in
+  let stats = send_ok server s {|{"op": "stats"}|} in
+  let sessions = Option.get (P.member "sessions" stats) in
+  Alcotest.(check bool) "saw >= 4 concurrent sessions" true
+    (int_member "total" sessions >= 6);
+  let cache = Option.get (P.member "plan_cache" stats) in
+  Alcotest.(check bool) "cache hit across sessions" true
+    (int_member "hits" cache >= 20);
+  Alcotest.(check int) "two distinct statements" 2 (int_member "entries" cache);
+  Server.close_session server s;
+  Server.shutdown server;
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* CLI: malformed --engine/--mode exit non-zero with a clear message   *)
+(* ------------------------------------------------------------------ *)
+
+let nestsql_exe = Filename.concat (Filename.concat ".." "bin") "nestsql.exe"
+
+let run_cli args =
+  let err = Filename.temp_file "nestsql_cli" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >/dev/null 2>%s" (Filename.quote nestsql_exe) args
+         (Filename.quote err))
+  in
+  let message = In_channel.with_open_text err In_channel.input_all in
+  Sys.remove err;
+  (code, message)
+
+let test_cli_bad_flags () =
+  let check_rejects args affix =
+    let code, message = run_cli args in
+    Alcotest.(check int) ("exit 1: " ^ args) 1 code;
+    if not (Astring.String.is_infix ~affix message) then
+      Alcotest.failf "stderr %S does not mention %S" message affix
+  in
+  check_rejects "run -d kim --engine turbo \"SELECT SNAME FROM S\""
+    "unknown engine turbo";
+  check_rejects "run -d kim --mode fast \"SELECT SNAME FROM S\""
+    "unknown mode fast";
+  check_rejects "explain -d kim --mode quantum \"SELECT SNAME FROM S\""
+    "unknown mode quantum";
+  check_rejects "run -d kim --strategy sideways \"SELECT SNAME FROM S\""
+    "unknown strategy sideways";
+  (* the well-formed values still work *)
+  let code, _ =
+    run_cli
+      "run -d kim --mode hybrid --engine vectorized \"SELECT SNAME FROM S\""
+  in
+  Alcotest.(check int) "valid mode/engine accepted" 0 code
+
+let suites =
+  [
+    ( "server.protocol",
+      [
+        QCheck_alcotest.to_alcotest test_json_roundtrip;
+        Alcotest.test_case "JSON goldens" `Quick test_json_goldens;
+        Alcotest.test_case "request parsing" `Quick test_request_parsing;
+      ] );
+    ( "server.plan_cache",
+      [
+        Alcotest.test_case "LRU accounting" `Quick test_cache_lru;
+        QCheck_alcotest.to_alcotest test_cached_equals_fresh;
+      ] );
+    ( "server.session",
+      [
+        Alcotest.test_case "prepare/execute hit accounting" `Quick
+          test_server_prepare_execute;
+        Alcotest.test_case "load invalidates and re-prepares" `Quick
+          test_server_load_invalidates;
+        Alcotest.test_case "eviction under capacity 1" `Quick
+          test_server_eviction_under_tiny_capacity;
+        Alcotest.test_case "protocol errors" `Quick test_server_errors;
+      ] );
+    ( "server.concurrent",
+      [
+        Alcotest.test_case "6 sessions over a Unix socket" `Quick
+          test_server_concurrent_sessions;
+      ] );
+    ( "server.cli",
+      [ Alcotest.test_case "strict --engine/--mode" `Quick test_cli_bad_flags ] );
+  ]
