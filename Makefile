@@ -22,12 +22,14 @@ lint:
 	done
 
 # Differential oracle smoke run (docs/ORACLE.md): fixed seed, 500 random
-# nested queries, each through the full 33-cell candidate matrix (both execution engines), plus a
-# replay of the shrunk regression corpus.  Exits non-zero on any
-# discrepancy.
+# nested queries, each through the full 49-cell candidate matrix (rewrite,
+# batched and Auto columns, both execution engines), plus a replay of the
+# shrunk regression corpus.  Exits non-zero on any discrepancy, and on a
+# refusal-count regression: the batched column made more cells answer, so
+# the total must stay strictly below the pre-batched baseline of 800.
 fuzz-smoke:
 	dune build bin/nestsql.exe
-	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q
+	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q --assert-refusals-below 800
 	dune exec bin/nestsql.exe -- fuzz --replay examples/queries/regressions -q
 
 # End-to-end server smoke (docs/SERVER.md): start `nestsql serve` on a
@@ -47,9 +49,11 @@ bench-json:
 	dune exec bench/main.exe -- --json
 
 # CI-speed structural run of the same code path: one small scale, fewer
-# reps, writes BENCH_perf.smoke.json and exits non-zero if the v3 schema
-# validation fails.  Not a perf artifact — it proves the bench harness and
-# both engines still run end to end.
+# reps, writes BENCH_perf.smoke.json and exits non-zero if the v4 schema
+# validation fails or batched fails to beat nested iteration on the
+# rewrite-refused skewed type-JA cell.  Not a perf artifact — it proves
+# the bench harness, both engines and all three strategies still run end
+# to end.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 

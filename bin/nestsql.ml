@@ -88,7 +88,7 @@ let sql =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
 let strategy =
-  let doc = "Evaluation strategy: auto, nested, transformed." in
+  let doc = "Evaluation strategy: auto, nested, transformed, batched." in
   Arg.(value & opt string "auto" & info [ "s"; "strategy" ] ~doc)
 
 let engine =
@@ -147,18 +147,20 @@ let mode_of_flag s =
   | Some m -> m
   | None -> die ("unknown mode " ^ s ^ " (want paper1987 or hybrid)")
 
+let strategy_of_flag s =
+  match Core.strategy_of_string s with
+  | Some st -> st
+  | None ->
+      die
+        ("unknown strategy " ^ s
+       ^ " (want auto, nested, transformed or batched)")
+
 (* ---------------- commands -------------------------------------------- *)
 
 let run_cmd load_dir fixture tables buffer_pages page_bytes strategy mode
     engine exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
-  let strategy =
-    match strategy with
-    | "auto" -> Core.Auto
-    | "nested" -> Core.Nested_iteration
-    | "transformed" -> Core.Transformed Optimizer.Planner.Auto
-    | s -> die ("unknown strategy " ^ s ^ " (want auto, nested or transformed)")
-  in
+  let strategy = strategy_of_flag strategy in
   let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
   let e =
@@ -198,14 +200,15 @@ let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
   let tree = ok_or_die (Core.query_tree db sql) in
   Fmt.pr "%a" Optimizer.Query_tree.pp tree
 
-let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze mode
-    engine exec_trace sql =
+let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze
+    strategy mode engine exec_trace sql =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let strategy = strategy_of_flag strategy in
   let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
   Fmt.pr "%s@."
     (ok_or_die
-       (Core.explain_query ~mode ~analyze ~engine
+       (Core.explain_query ~strategy ~mode ~analyze ~engine
           ?trace:(trace_sink exec_trace) db sql))
 
 (* ---------------- lint -------------------------------------------------- *)
@@ -267,7 +270,7 @@ let lint_cmd load_dir fixture tables buffer_pages page_bytes json file =
 (* Differential oracle: random databases and nested queries, every
    evaluation path cross-checked against nested iteration; discrepancies
    are delta-debugged to minimal repro files (docs/ORACLE.md). *)
-let fuzz_cmd seed count write_dir replays quiet =
+let fuzz_cmd seed count write_dir replays quiet refusals_below =
   let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
   (* --replay FILE/DIR: check existing repros instead of generating. *)
   if replays <> [] then begin
@@ -302,6 +305,16 @@ let fuzz_cmd seed count write_dir replays quiet =
   else begin
     let report = Oracle.Driver.run ~log ~seed ~count () in
     Fmt.pr "%a@." Oracle.Driver.pp_report report;
+    (* --assert-refusals-below: a coverage ratchet.  Adding a strategy to
+       the matrix must lower the total refusal count (more cells answer);
+       CI pins the previous baseline so a regression that re-widens a
+       refusal guard fails loudly even when every answering cell agrees. *)
+    (match refusals_below with
+    | Some bound when report.Oracle.Driver.refusals >= bound ->
+        die
+          (Printf.sprintf "refusal count %d is not below the bound %d"
+             report.Oracle.Driver.refusals bound)
+    | _ -> ());
     match report.Oracle.Driver.discrepancies with
     | [] -> ()
     | ds ->
@@ -351,7 +364,7 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   Fmt.pr
     "nestsql %s — interactive shell.@.Enter SQL, EXPLAIN [ANALYZE] SQL or \
      LINT SQL, or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \
-     \\compare SQL, \\strategy auto|nested|transformed, \\quit@.@."
+     \\compare SQL, \\strategy auto|nested|transformed|batched, \\quit@.@."
     Core.version;
   let show_tables () =
     List.iter
@@ -398,12 +411,12 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
         else if line = "\\quit" || line = "\\q" then ()
         else if line = "\\tables" then (show_tables (); loop ())
         else if starts_with "\\strategy" line then begin
-          (match after "\\strategy" line with
-          | "auto" -> strategy := Core.Auto
-          | "nested" -> strategy := Core.Nested_iteration
-          | "transformed" ->
-              strategy := Core.Transformed Optimizer.Planner.Auto
-          | other -> Fmt.pr "unknown strategy %s@." other);
+          (match Core.strategy_of_string (after "\\strategy" line) with
+          | Some s -> strategy := s
+          | None ->
+              Fmt.pr "unknown strategy %s (want auto, nested, transformed \
+                      or batched)@."
+                (after "\\strategy" line));
           loop ()
         end
         else if starts_with "\\tree" line then begin
@@ -567,13 +580,7 @@ let client_cmd socket host port mode engine strategy raw exprs jsons =
           engine;
         Option.map
           (fun (s : string) ->
-            (match s with
-            | "auto" | "nested" | "transformed" -> ()
-            | s ->
-                die
-                  ("unknown strategy " ^ s
-                 ^ " (want auto, nested or transformed)"));
-            ("strategy", P.Str s))
+            ("strategy", P.Str (Core.strategy_name (strategy_of_flag s))))
           strategy;
       ]
   in
@@ -640,9 +647,11 @@ let cmds =
     cmd "tree" "Print the query-block tree (the paper's Figure 2 view)."
       Term.(common (const tree_cmd) $ sql);
     cmd "explain"
-      "Print annotated physical plans; --analyze adds runtime metrics."
+      "Print annotated physical plans; --analyze adds runtime metrics; \
+       --strategy batched shows the batched outer plan and batch counts."
       Term.(
-        common (const explain_cmd) $ analyze $ mode $ engine $ exec_trace $ sql);
+        common (const explain_cmd) $ analyze $ strategy $ mode $ engine
+        $ exec_trace $ sql);
     (let json =
        let doc = "Emit diagnostics as a JSON array (schema in docs/LINT.md)." in
        Arg.(value & flag & info [ "json" ] ~doc)
@@ -688,13 +697,26 @@ let cmds =
        let doc = "Suppress per-case progress on stderr." in
        Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
      in
+     let refusals_below =
+       let doc =
+         "Exit 1 unless the total refusal count is strictly below $(docv) \
+          — a coverage ratchet for CI (each new strategy must make more \
+          grid cells answer, never fewer)."
+       in
+       Arg.(
+         value
+         & opt (some int) None
+         & info [ "assert-refusals-below" ] ~docv:"N" ~doc)
+     in
      cmd "fuzz"
        "Differential oracle: random nested queries over random data \
-        (NULLs, duplicate keys, empty relations), every rewrite x planner \
-        mode x executor cross-checked against nested iteration; \
-        discrepancies are shrunk to minimal repros.  Exits 1 if any cell \
-        disagrees."
-       Term.(const fuzz_cmd $ seed $ count $ write_dir $ replays $ quiet));
+        (NULLs, duplicate keys, empty relations), every rewrite / batched \
+        x planner mode x executor cell cross-checked against nested \
+        iteration; discrepancies are shrunk to minimal repros.  Exits 1 \
+        if any cell disagrees."
+       Term.(
+         const fuzz_cmd $ seed $ count $ write_dir $ replays $ quiet
+         $ refusals_below));
     cmd "tables" "List the tables of the selected database."
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."

@@ -1,0 +1,19 @@
+-- oracle repro: batched dedup must not change outer multiplicities.
+-- Five outer rows share two distinct keys (the §5.4 duplicate skew), so
+-- the inner MAX runs twice, not five times — but every one of the five
+-- probing rows must come back with its own multiplicity.  A batching
+-- implementation that merged on the deduplicated batch relation instead
+-- of probing per outer row would collapse the duplicate outer rows.
+-- table PARTS (PNUM:int,QOH:int)
+-- row 1,5
+-- row 1,5
+-- row 1,5
+-- row 2,3
+-- row 2,3
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,5,1979-06-01
+-- row 1,2,1980-02-01
+-- row 2,3,1979-01-01
+SELECT QOH FROM PARTS
+WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM)

@@ -1,0 +1,19 @@
+-- oracle repro: batched bindings over NULL correlation keys under COUNT.
+-- Two parts carry a NULL PNUM; the null-safe dedup must put them in ONE
+-- binding batch (the <=> semantics), and that batch's substituted inner
+-- query counts nothing — SUPPLY.PNUM = NULL matches no row, including the
+-- NULL supply key — so COUNT = 0 keeps exactly the QOH = 0 NULL part,
+-- same as nested iteration.  A dedup that dropped NULL keys (or split
+-- them into distinct batches yet joined them back non-null-safely) loses
+-- or duplicates those rows.
+-- table PARTS (PNUM:int,QOH:int)
+-- row ,0
+-- row ,2
+-- row 1,1
+-- row 1,1
+-- table SUPPLY (PNUM:int,QUAN:int,SHIPDATE:date)
+-- row 1,5,1979-06-01
+-- row ,7,1979-01-01
+SELECT PNUM, QOH FROM PARTS
+WHERE QOH = (SELECT COUNT(QUAN) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM)

@@ -154,12 +154,47 @@ let correlation_graph db text =
 type strategy =
   | Nested_iteration (* the System R method, over paged storage *)
   | Transformed of Optimizer.Planner.join_choice
-  | Auto (* transform when possible, else nested iteration *)
+  | Batched of Optimizer.Planner.join_choice
+    (* Guravannavar batched bindings: planner-lowered outer block, one
+       inner evaluation per distinct correlation-key batch *)
+  | Auto
+    (* transform when possible, else batched when Estimate says the key
+       domain beats the outer cardinality, else nested iteration *)
+
+(* The names the CLI (--strategy), the REPL (\strategy) and the server
+   protocol all accept — one parser so the surfaces can't drift.  Join
+   forcing is orthogonal (the --join flag / force knob); the bare names
+   map to [Planner.Auto]. *)
+let strategy_name = function
+  | Nested_iteration -> "nested"
+  | Transformed _ -> "transformed"
+  | Batched _ -> "batched"
+  | Auto -> "auto"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Auto
+  | "nested" | "nested-iteration" -> Some Nested_iteration
+  | "transformed" -> Some (Transformed Optimizer.Planner.Auto)
+  | "batched" -> Some (Batched Optimizer.Planner.Auto)
+  | _ -> None
+
+(* Which path actually produced the result (Auto resolves to one of the
+   concrete three). *)
+type via = Via_nested | Via_transformed | Via_batched
+
+let via_name = function
+  | Via_nested -> "nested_iteration"
+  | Via_transformed -> "transformed"
+  | Via_batched -> "batched"
 
 type execution = {
   result : Relation.t;
   used_transformation : bool;
+  via : via;
   program : Optimizer.Program.t option;
+  batches : Optimizer.Batched_nest.batch list;
+      (* per-subquery batch counts; non-empty only under [Via_batched] *)
   io : Pager.stats; (* page traffic of this execution only *)
 }
 
@@ -202,9 +237,34 @@ let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
       {
         result;
         used_transformation = false;
+        via = Via_nested;
         program = None;
+        batches = [];
         io = Pager.diff_since pager before;
       }
+  in
+  (* Batched bindings never transform — a refusal can only come from the
+     one unbatchable shape (correlated column outside a WHERE predicate),
+     surfaced with the same refusal prefix the transformation guards use so
+     the oracle and the Auto fallback treat it uniformly. *)
+  let run_batched force =
+    let before = Pager.snapshot pager in
+    match
+      Optimizer.Batched_nest.run ~force ?mode ?engine ?session db.catalog q
+    with
+    | { Optimizer.Batched_nest.relation; batches } ->
+        Ok
+          {
+            result = relation;
+            used_transformation = false;
+            via = Via_batched;
+            program = None;
+            batches;
+            io = Pager.diff_since pager before;
+          }
+    | exception Optimizer.Batched_nest.Unsupported msg ->
+        Error ("not transformable: batched: " ^ msg)
+    | exception Optimizer.Planner.Planning_error msg -> Error msg
   in
   (* Every transformed program is verified before it runs (NQ900-NQ906);
      a failing program is refused here and — under [Auto] — execution
@@ -229,7 +289,9 @@ let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
               {
                 result;
                 used_transformation = true;
+                via = Via_transformed;
                 program = Some program;
+                batches = [];
                 io;
               }
         | exception Optimizer.Planner.Planning_error msg -> Error msg)
@@ -237,17 +299,39 @@ let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
   match strategy with
   | Nested_iteration -> run_nested ()
   | Transformed force -> run_transformed force
+  | Batched force -> run_batched force
   | Auto -> (
       match run_transformed Optimizer.Planner.Auto with
       | Ok _ as ok -> ok
       | Error msg ->
-          (match on_fallback with
-          | Some warn ->
-              warn
-                ("transformed strategy refused (" ^ msg
-               ^ "); falling back to nested iteration")
-          | None -> ());
-          run_nested ())
+          (* Refused: pick the cheaper un-transformed strategy.  Batched
+             wins when the estimated distinct-key domain undercuts the
+             outer cardinality (Estimate.prefer_batched); it can itself
+             refuse on the unbatchable shape, in which case nested
+             iteration — which refuses nothing — closes the ladder. *)
+          let use_batched =
+            Optimizer.Estimate.prefer_batched db.catalog q
+          in
+          let warn fallback =
+            match on_fallback with
+            | Some warn ->
+                warn
+                  ("transformed strategy refused (" ^ msg
+                 ^ "); falling back to " ^ fallback)
+            | None -> ()
+          in
+          if use_batched then
+            match run_batched Optimizer.Planner.Auto with
+            | Ok _ as ok ->
+                warn "batched execution";
+                ok
+            | Error _ ->
+                warn "nested iteration";
+                run_nested ()
+          else begin
+            warn "nested iteration";
+            run_nested ()
+          end)
 
 let run ?strategy ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db text :
     (execution, string) result =
@@ -259,17 +343,37 @@ let run ?strategy ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db text :
 let query db text : (Relation.t, string) result =
   Result.map (fun e -> e.result) (run db text)
 
-let explain_query ?mode ?(analyze = false) ?engine ?trace db text :
+let explain_query ?strategy ?mode ?(analyze = false) ?engine ?trace db text :
     (string, string) result =
-  match transform db text with
-  | Error _ as e -> e
-  | Ok program -> (
-      match
-        Optimizer.Planner.explain_text ?mode ~analyze ?engine ?trace
-          db.catalog program
-      with
-      | text -> Ok text
-      | exception Optimizer.Planner.Planning_error msg -> Error msg)
+  match strategy with
+  | Some (Batched force) -> (
+      (* Batched plans have no transformed program: EXPLAIN shows the
+         outer block's physical plan plus one line per WHERE subquery —
+         its correlation keys, and under ANALYZE the measured outer-row /
+         distinct-binding batch counts. *)
+      match parse db text with
+      | Error _ as e -> e
+      | Ok q -> (
+          match
+            Optimizer.Batched_nest.explain ~force ?mode ?engine ~analyze
+              db.catalog q
+          with
+          | text -> Ok text
+          | exception Optimizer.Batched_nest.Unsupported msg ->
+              Error ("not transformable: batched: " ^ msg)
+          | exception Optimizer.Planner.Planning_error msg -> Error msg))
+  | Some Nested_iteration ->
+      Error "nested iteration has no physical plan to explain"
+  | Some (Transformed _) | Some Auto | None -> (
+      match transform db text with
+      | Error _ as e -> e
+      | Ok program -> (
+          match
+            Optimizer.Planner.explain_text ?mode ~analyze ?engine ?trace
+              db.catalog program
+          with
+          | text -> Ok text
+          | exception Optimizer.Planner.Planning_error msg -> Error msg))
 
 let explain db text : (string, string) result = explain_query db text
 
@@ -299,6 +403,12 @@ let compare_strategies db text : (comparison, string) result =
 
 let pp_execution ppf (e : execution) =
   Fmt.pf ppf "%s: %d rows, %a"
-    (if e.used_transformation then "transformed" else "nested iteration")
+    (match e.via with
+    | Via_transformed -> "transformed"
+    | Via_batched -> "batched"
+    | Via_nested -> "nested iteration")
     (Relation.cardinality e.result)
-    Pager.pp_stats e.io
+    Pager.pp_stats e.io;
+  List.iter
+    (fun b -> Fmt.pf ppf "@ %a" Optimizer.Batched_nest.pp_batch b)
+    e.batches

@@ -70,12 +70,40 @@ val correlation_graph :
 type strategy =
   | Nested_iteration  (** the System R method, over paged storage *)
   | Transformed of Optimizer.Planner.join_choice
-  | Auto  (** transform when possible, else nested iteration *)
+  | Batched of Optimizer.Planner.join_choice
+      (** Guravannavar batched bindings ({!Optimizer.Batched_nest}): the
+          planner-lowered outer block, one inner evaluation per distinct
+          correlation-key batch *)
+  | Auto
+      (** transform when possible, else batched when
+          {!Optimizer.Estimate.prefer_batched} says the key domain beats
+          the outer cardinality, else nested iteration *)
+
+(** ["nested"] / ["transformed"] / ["batched"] / ["auto"] — the shared
+    vocabulary of the CLI [--strategy], the REPL [\strategy] and the server
+    protocol.  Join forcing is orthogonal; the bare names carry
+    [Planner.Auto].  {!strategy_of_string} is case-insensitive, also
+    accepts ["nested-iteration"], and returns [None] for anything else —
+    callers must treat that as an error, never a silent default. *)
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> strategy option
+
+(** Which path actually produced a result — [Auto] resolves to one of the
+    concrete three. *)
+type via = Via_nested | Via_transformed | Via_batched
+
+(** ["nested_iteration"] / ["transformed"] / ["batched"], as the server's
+    [strategy] result field reports. *)
+val via_name : via -> string
 
 type execution = {
   result : Relation.t;
   used_transformation : bool;
+  via : via;
   program : Optimizer.Program.t option;
+  batches : Optimizer.Batched_nest.batch list;
+      (** per-subquery batch counts; non-empty only under [Via_batched] *)
   io : Pager.stats;  (** page traffic of this execution only *)
 }
 
@@ -146,8 +174,14 @@ val query : db -> string -> (Relation.t, string) result
     operator gains actual rows / [next] calls / wall-clock / page I/Os;
     [trace] receives one JSON line per operator event
     (see [docs/EXPLAIN.md]).  [engine] as in {!run}; under the vectorized
-    engine actuals include [rows/call] > 1 and a [batches] count. *)
+    engine actuals include [rows/call] > 1 and a [batches] count.
+    [strategy] defaults to the transformed path; [Batched _] explains the
+    batched plan instead — the outer block's annotated physical plan plus
+    one [batch] line per WHERE subquery (its correlation keys; under
+    ANALYZE the measured outer-row and distinct-binding counts).
+    [Nested_iteration] is an error: it has no physical plan. *)
 val explain_query :
+  ?strategy:strategy ->
   ?mode:Optimizer.Planner.mode ->
   ?analyze:bool ->
   ?engine:Exec.Plan.engine ->

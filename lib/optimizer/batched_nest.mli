@@ -1,0 +1,66 @@
+(** Batched nested execution — Guravannavar's "batched bindings".
+
+    The third evaluation strategy, between nested iteration and the
+    NEST-JA2 rewrites: the outer block (FROM chain plus subquery-free
+    predicates) is lowered and run through the ordinary {!Planner}; each
+    WHERE subquery's correlation-key values are collected over the outer
+    rows, deduplicated null-safely (PR 4's [<=>] semantics: NULL keys form
+    one batch, [Int]/[Float] keys that compare equal share one), and the
+    inner block is evaluated once per distinct batch with the keys
+    substituted as literals; outer rows probe the memoized answers.
+    Correctness is nested iteration's, cost is one inner evaluation per
+    {e distinct} binding instead of per outer row — and no transformation
+    guard applies, so the Kim type-N/J/JA shapes the guarded rewrites
+    refuse (non-equijoin correlation, COUNT over nullable keys, correlated
+    subqueries below duplicate-sensitive aggregates) all run. *)
+
+(** The one shape batching cannot reach: a correlated column outside a
+    WHERE predicate (SELECT / GROUP BY / aggregate argument), where the AST
+    has no literal position to substitute.  Callers ({!Core}) surface this
+    as a refusal, exactly like a transformation guard declining. *)
+exception Unsupported of string
+
+type batch = {
+  label : string;  (** predicate kind plus its correlation keys *)
+  outer_rows : int;  (** outer tuples probing this subquery *)
+  bindings : int;  (** distinct key batches = inner evaluations *)
+}
+(** One WHERE subquery's batching story, for EXPLAIN and tests. *)
+
+type result = { relation : Relalg.Relation.t; batches : batch list }
+
+(** The correlation columns a subquery would batch on (empty =
+    uncorrelated, evaluated once).
+    @raise Unsupported on a free ref outside a WHERE predicate. *)
+val correlation_keys : Sql.Ast.query -> Sql.Ast.col_ref list
+
+(** Evaluate an analyzed query batched.  [force]/[mode]/[engine] govern the
+    planner lowering and execution of the outer block and of each
+    per-binding inner query; [session] instruments the outer plan.
+    Presentation ORDER BY is applied, like the other strategy entry points.
+    @raise Unsupported on unbatchable correlation (see above)
+    @raise Exec.Nested_iter.Runtime_error exactly where nested iteration
+    would (multi-row scalar subqueries, multi-column value subqueries). *)
+val run :
+  ?force:Planner.join_choice ->
+  ?mode:Planner.mode ->
+  ?engine:Exec.Plan.engine ->
+  ?session:Exec.Explain.session ->
+  Storage.Catalog.t ->
+  Sql.Ast.query ->
+  result
+
+val pp_batch : batch Fmt.t
+
+(** EXPLAIN text: the outer block's annotated physical plan, then one
+    [batch ...] line per WHERE subquery — statically its correlation keys;
+    with [~analyze:true] the query actually runs and each line reports
+    measured outer rows and distinct binding counts. *)
+val explain :
+  ?force:Planner.join_choice ->
+  ?mode:Planner.mode ->
+  ?engine:Exec.Plan.engine ->
+  ?analyze:bool ->
+  Storage.Catalog.t ->
+  Sql.Ast.query ->
+  string

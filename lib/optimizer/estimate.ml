@@ -195,3 +195,99 @@ let estimator catalog plan =
           Some { Exec.Explain.est_rows = t.rows; est_cost = t.cost }
         else None)
       entries
+
+(* ------------------------------------------------------------------ *)
+(* Batched-bindings fallback costing                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* When the transformation refuses, [Core]'s Auto strategy chooses between
+   plain nested iteration and batched execution ([Batched_nest]).  Both
+   re-evaluate each correlated WHERE subquery; nested iteration does it
+   once per outer tuple, batching once per *distinct* correlation-key
+   tuple — so the decision reduces to comparing the outer cardinality with
+   the key domain, both available from catalog statistics (per-column
+   distinct counts, a NULL adding one batch of its own). *)
+
+type fallback = {
+  fb_outer_rows : float;  (* outer FROM cardinality (cross-product bound) *)
+  fb_nested_evals : float;  (* inner evaluations nested iteration pays *)
+  fb_batched_evals : float;  (* inner evaluations batching pays *)
+}
+
+let batched_fallback catalog (q : Sql.Ast.query) : fallback option =
+  let alias_rel =
+    List.map (fun (f : from_item) -> (from_alias f, f.rel)) q.from
+  in
+  let outer_rows =
+    List.fold_left
+      (fun acc (f : from_item) ->
+        acc *. float_of_int (max 1 (Catalog.tuples catalog f.rel)))
+      1. q.from
+  in
+  let distinct_of (c : col_ref) =
+    match Option.bind c.table (fun t -> List.assoc_opt t alias_rel) with
+    | None -> outer_rows (* correlation on a mid-level alias: no estimate *)
+    | Some rel -> (
+        match Catalog.lookup catalog rel with
+        | None -> outer_rows
+        | Some schema -> (
+            match Schema.find_opt schema c.column with
+            | None | (exception Schema.Ambiguous _) -> outer_rows
+            | Some i ->
+                let cs = Stats.column (Catalog.stats catalog rel) i in
+                float_of_int
+                  (max 1 cs.Stats.distinct
+                  + if cs.Stats.nulls > 0 then 1 else 0)))
+  in
+  let correlated_keys =
+    List.filter_map
+      (fun p ->
+        match p with
+        | Cmp_subq (_, _, sub)
+        | In_subq (_, sub)
+        | Not_in_subq (_, sub)
+        | Exists sub
+        | Not_exists sub
+        | Quant (_, _, _, sub) -> (
+            match
+              List.filter_map
+                (fun (c, pos) ->
+                  match pos with `Predicate -> Some c | `Other -> None)
+                (free_col_refs sub)
+            with
+            | [] -> None (* uncorrelated: one evaluation either way *)
+            | keys
+              when List.exists
+                     (fun (_, pos) -> pos = `Other)
+                     (free_col_refs sub) ->
+                ignore keys;
+                None (* unbatchable shape: batching would refuse *)
+            | keys -> Some keys)
+        | Cmp _ | Cmp_outer _ -> None)
+      q.where
+  in
+  match correlated_keys with
+  | [] -> None
+  | keys_per_pred ->
+      let batched =
+        List.fold_left
+          (fun acc keys ->
+            acc
+            +. Float.min outer_rows
+                 (List.fold_left (fun p c -> p *. distinct_of c) 1. keys))
+          0. keys_per_pred
+      in
+      Some
+        {
+          fb_outer_rows = outer_rows;
+          fb_nested_evals =
+            outer_rows *. float_of_int (List.length keys_per_pred);
+          fb_batched_evals = batched;
+        }
+
+(* The Auto decision: batch when deduplication is estimated to save inner
+   evaluations (ties go to nested iteration, the reference behaviour). *)
+let prefer_batched catalog q =
+  match batched_fallback catalog q with
+  | None -> false
+  | Some fb -> fb.fb_batched_evals < fb.fb_nested_evals

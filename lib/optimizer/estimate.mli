@@ -23,3 +23,21 @@ val estimator :
   Exec.Plan.node ->
   Exec.Plan.node ->
   Exec.Explain.est option
+
+type fallback = {
+  fb_outer_rows : float;  (** outer FROM cardinality (cross-product bound) *)
+  fb_nested_evals : float;  (** inner evaluations nested iteration pays *)
+  fb_batched_evals : float;  (** inner evaluations batching pays *)
+}
+(** Costing for {!Core}'s Auto fallback when the transformation refuses:
+    nested iteration re-evaluates each correlated WHERE subquery once per
+    outer tuple, {!Batched_nest} once per distinct correlation-key tuple
+    (estimated from per-column distinct counts, plus one batch for NULLs). *)
+
+(** [None] when the query has no batchable correlated WHERE subquery
+    (uncorrelated only, or a shape {!Batched_nest} would refuse). *)
+val batched_fallback : Storage.Catalog.t -> Sql.Ast.query -> fallback option
+
+(** The Auto decision: true iff batching is estimated to save inner
+    evaluations over nested iteration. *)
+val prefer_batched : Storage.Catalog.t -> Sql.Ast.query -> bool

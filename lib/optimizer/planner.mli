@@ -51,6 +51,18 @@ val lower :
   Sql.Ast.query ->
   lowered
 
+(** Execute a lowered plan under the chosen engine ([Tuple] or
+    [Vectorized]), instrumented with the engine-appropriate
+    {!Exec.Explain} observer when a session is supplied.  Exposed for
+    strategies that drive plans directly ({!Batched_nest} runs its outer
+    block and each per-binding inner query through here). *)
+val run_plan :
+  engine:Exec.Plan.engine ->
+  ?session:Exec.Explain.session ->
+  Storage.Catalog.t ->
+  Exec.Plan.node ->
+  Relalg.Relation.t
+
 (** Plan, execute and register one temp definition under its program name
     (column names from [Program.output_column_names], order metadata from
     the plan).  [engine] selects tuple-at-a-time (the default and oracle

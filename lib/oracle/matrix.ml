@@ -2,10 +2,16 @@
 
    Reference: in-memory nested iteration ([Exec.Nested_iter]) plus the
    presentation ORDER BY — the non-optimizing engine the paper treats as
-   ground truth.  Candidates: the paged nested iteration, and the NEST-G
+   ground truth.  Candidates: the paged nested iteration; the NEST-G
    transformed program under every (rewrite flag x planner mode x forced
-   join method) combination, each through [Core.run] so the verifier and
-   the presentation sort are on the same path users take.
+   join method) combination; the batched-bindings strategy
+   ([Optimizer.Batched_nest]) under every (mode x forced join x engine)
+   combination — the third independent executor, which accepts the shapes
+   the guarded rewrites refuse; and the end-to-end Auto strategy (the
+   ladder users actually run: transform, else batched, else nested), so
+   refusal cases get a real second opinion instead of only a refusal tally.
+   Everything goes through [Core.run] so the verifier and the presentation
+   sort are on the same path users take.
 
    A candidate that *refuses* (query not transformable, or a soundness
    guard such as the nullable-COUNT-form check declines) is fine — a
@@ -27,27 +33,55 @@ type candidate =
       force : Planner.join_choice;
       engine : Exec.Plan.engine;
     }
+  | Batched of {
+      mode : Planner.mode;
+      force : Planner.join_choice;
+      engine : Exec.Plan.engine;
+    }
+  | Auto_path of {
+      rewrite_not_in : bool;
+      mode : Planner.mode;
+      engine : Exec.Plan.engine;
+    }
+
+let mode_label = function
+  | Planner.Paper1987 -> "paper"
+  | Planner.Hybrid -> "hybrid"
+
+let force_label = function
+  | Planner.Auto -> "auto"
+  | Planner.Force_nl -> "nl"
+  | Planner.Force_merge -> "merge"
+  | Planner.Force_hash -> "hash"
+
+let engine_label = function
+  | Exec.Plan.Tuple -> ""
+  | Exec.Plan.Vectorized -> "/vec"
 
 let candidate_label = function
   | Paged_nested -> "paged-nested"
   | Rewrite { rewrite_not_in; mode; force; engine } ->
       Printf.sprintf "rewrite%s/%s/%s%s"
         (if rewrite_not_in then "+not-in" else "")
-        (match mode with Planner.Paper1987 -> "paper" | Planner.Hybrid -> "hybrid")
-        (match force with
-        | Planner.Auto -> "auto"
-        | Planner.Force_nl -> "nl"
-        | Planner.Force_merge -> "merge"
-        | Planner.Force_hash -> "hash")
-        (match engine with
-        | Exec.Plan.Tuple -> ""
-        | Exec.Plan.Vectorized -> "/vec")
+        (mode_label mode) (force_label force) (engine_label engine)
+  | Batched { mode; force; engine } ->
+      Printf.sprintf "batched/%s/%s%s" (mode_label mode) (force_label force)
+        (engine_label engine)
+  | Auto_path { rewrite_not_in; mode; engine } ->
+      Printf.sprintf "auto%s/%s%s"
+        (if rewrite_not_in then "+not-in" else "")
+        (mode_label mode) (engine_label engine)
 
-(* The full grid: 1 + 2*2*4*2 = 33 executions per query.  The engine axis
-   cross-checks the vectorized operators against the tuple engine on every
-   plan shape the other axes can force. *)
+(* The full grid: 1 paged-nested + 24 forced rewrites (2 rewrite flags x 2
+   modes x 3 forced joins x 2 engines) + 16 batched (2 modes x 4 join
+   choices x 2 engines) + 8 end-to-end Auto (2 rewrite flags x 2 modes x 2
+   engines) = 49 executions per query.  The engine axis cross-checks the
+   vectorized operators against the tuple engine on every plan shape the
+   other axes can force; the Auto cells subsume the old force=auto rewrite
+   cells (same execution when the transformation applies) and additionally
+   exercise the batched/nested fallback ladder when it refuses. *)
 let all_candidates =
-  Paged_nested
+  (Paged_nested
   :: List.concat_map
        (fun rewrite_not_in ->
          List.concat_map
@@ -58,10 +92,28 @@ let all_candidates =
                    (fun engine ->
                      Rewrite { rewrite_not_in; mode; force; engine })
                    [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
-               [ Planner.Auto; Planner.Force_nl; Planner.Force_merge;
-                 Planner.Force_hash ])
+               [ Planner.Force_nl; Planner.Force_merge; Planner.Force_hash ])
            [ Planner.Paper1987; Planner.Hybrid ])
-       [ false; true ]
+       [ false; true ])
+  @ List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun force ->
+            List.map
+              (fun engine -> Batched { mode; force; engine })
+              [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
+          [ Planner.Auto; Planner.Force_nl; Planner.Force_merge;
+            Planner.Force_hash ])
+      [ Planner.Paper1987; Planner.Hybrid ]
+  @ List.concat_map
+      (fun rewrite_not_in ->
+        List.concat_map
+          (fun mode ->
+            List.map
+              (fun engine -> Auto_path { rewrite_not_in; mode; engine })
+              [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
+          [ Planner.Paper1987; Planner.Hybrid ])
+      [ false; true ]
 
 type verdict =
   | Agree
@@ -158,12 +210,16 @@ let run_candidate (case : Repro.case) candidate :
     match candidate with
     | Paged_nested -> Core.Nested_iteration
     | Rewrite { force; _ } -> Core.Transformed force
+    | Batched { force; _ } -> Core.Batched force
+    | Auto_path _ -> Core.Auto
   in
   let rewrite_not_in, mode, engine =
     match candidate with
     | Paged_nested -> (false, None, None)
-    | Rewrite { rewrite_not_in; mode; engine; _ } ->
+    | Rewrite { rewrite_not_in; mode; engine; _ }
+    | Auto_path { rewrite_not_in; mode; engine } ->
         (rewrite_not_in, Some mode, Some engine)
+    | Batched { mode; engine; _ } -> (false, Some mode, Some engine)
   in
   match Core.run ~strategy ~rewrite_not_in ?mode ?engine db case.sql with
   | Ok e -> Ok e.Core.result

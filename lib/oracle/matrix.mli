@@ -1,10 +1,15 @@
 (** The execution matrix: one query evaluated by the non-optimizing
     reference (in-memory nested iteration + presentation ORDER BY) and by
-    every candidate path — paged nested iteration, and the NEST-G rewrite
+    every candidate path — paged nested iteration; the NEST-G rewrite
     under every (NOT-IN flag x planner mode x forced join method x
-    execution engine) cell.  A candidate may {e refuse} (not transformable
-    / soundness guard); a candidate that answers must agree with the
-    reference under the NULL-aware comparator. *)
+    execution engine) cell; the batched-bindings strategy
+    ({!Optimizer.Batched_nest}) under every (mode x join choice x engine)
+    cell — the third independent executor, accepting shapes the guarded
+    rewrites refuse; and the end-to-end Auto ladder (transform, else
+    batched, else nested iteration) under every (NOT-IN flag x mode x
+    engine) cell.  A candidate may {e refuse} (not transformable /
+    soundness guard / the one unbatchable shape); a candidate that answers
+    must agree with the reference under the NULL-aware comparator. *)
 
 type candidate =
   | Paged_nested
@@ -14,11 +19,24 @@ type candidate =
       force : Optimizer.Planner.join_choice;
       engine : Exec.Plan.engine;
     }
+  | Batched of {
+      mode : Optimizer.Planner.mode;
+      force : Optimizer.Planner.join_choice;
+      engine : Exec.Plan.engine;
+    }
+  | Auto_path of {
+      rewrite_not_in : bool;
+      mode : Optimizer.Planner.mode;
+      engine : Exec.Plan.engine;
+    }
 
 val candidate_label : candidate -> string
 
-(** The full grid: paged nested iteration plus all 32 rewrite cells
-    (vectorized cells carry a ["/vec"] label suffix). *)
+(** The full grid, 49 cells: paged nested iteration + 24 forced-join
+    rewrite cells + 16 batched cells + 8 end-to-end Auto cells (vectorized
+    cells carry a ["/vec"] label suffix).  The Auto cells subsume the old
+    force=auto rewrite cells — same execution when the transformation
+    applies — and exercise the fallback ladder when it refuses. *)
 val all_candidates : candidate list
 
 type verdict =

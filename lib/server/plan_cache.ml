@@ -8,6 +8,9 @@
 
 type key = {
   normalized : string;
+  strategy : Core.strategy;
+      (* the resolved execution strategy: a --strategy change must never
+         hit an entry prepared under another strategy *)
   mode : Optimizer.Planner.mode;
   engine : Exec.Plan.engine;
   rewrite_not_in : bool;

@@ -346,12 +346,7 @@ let bool_field_opt j name =
 
 let ( let* ) = Result.bind
 
-let strategy_of_string s =
-  match String.lowercase_ascii s with
-  | "auto" -> Some Core.Auto
-  | "nested" -> Some Core.Nested_iteration
-  | "transformed" -> Some (Core.Transformed Optimizer.Planner.Auto)
-  | _ -> None
+let strategy_of_string = Core.strategy_of_string
 
 (* The optional planner knobs shared by query/prepare/explain.  Unknown
    names are errors, mirroring the CLI's strict --mode/--engine parsing:
@@ -367,7 +362,8 @@ let knobs_of_json j =
     | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
   in
   let* strategy =
-    parse_with "strategy" strategy_of_string "auto, nested or transformed"
+    parse_with "strategy" strategy_of_string
+      "auto, nested, transformed or batched"
   in
   let* mode =
     parse_with "mode" Optimizer.Planner.mode_of_string "paper1987 or hybrid"

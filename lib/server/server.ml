@@ -92,8 +92,8 @@ let resolve (k : P.knobs) =
     Option.value k.rewrite_not_in ~default:false )
 
 let cache_key ~knobs normalized =
-  let _, mode, engine, rewrite_not_in = resolve knobs in
-  { Plan_cache.normalized; mode; engine; rewrite_not_in }
+  let strategy, mode, engine, rewrite_not_in = resolve knobs in
+  { Plan_cache.normalized; strategy; mode; engine; rewrite_not_in }
 
 (* Parse/analyze (to learn the normalized key text), then either reuse the
    cached prepared statement or do the transform once and cache it.  The
@@ -152,10 +152,7 @@ let result_fields ~cache_status (e : Core.execution) wall_s =
     ("columns", P.List columns);
     ("rows", P.List rows);
     ("row_count", P.Int (Core.Relation.cardinality rel));
-    ( "strategy",
-      P.Str
-        (if e.Core.used_transformation then "transformed"
-         else "nested_iteration") );
+    ("strategy", P.Str (Core.via_name e.Core.via));
     ("cache", P.Str cache_status);
     ("wall_ms", P.Float (wall_s *. 1e3));
     ("io", io_json e.Core.io);

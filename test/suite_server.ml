@@ -14,26 +14,9 @@ module Relation = Relalg.Relation
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let q2 =
-  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
-   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')"
-
-let q5 =
-  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY WHERE \
-   SUPPLY.PNUM < PARTS.PNUM)"
-
-let define_fixture db name rel =
-  Core.define_table db name
-    (List.map
-       (fun (c : Core.Schema.column) -> (c.Core.Schema.name, c.Core.Schema.ty))
-       (Core.Schema.columns (Relation.schema rel)))
-    (List.map Relalg.Row.to_list (Relation.rows rel))
-
-let count_bug_db () =
-  let db = Core.create_db ~buffer_pages:8 ~page_bytes:256 () in
-  define_fixture db "PARTS" Workload.Fixtures.kiessling_parts;
-  define_fixture db "SUPPLY" Workload.Fixtures.kiessling_supply;
-  db
+let q2 = Fixtures.count_bug_query
+let q5 = Fixtures.max_quan_query
+let count_bug_db () = Fixtures.count_bug_db ()
 
 let parse_exn line =
   match P.parse line with
@@ -163,6 +146,7 @@ let test_request_parsing () =
 let key text =
   {
     Cache.normalized = text;
+    strategy = Core.Auto;
     mode = Optimizer.Planner.Paper1987;
     engine = Exec.Plan.Tuple;
     rewrite_not_in = false;
@@ -193,6 +177,10 @@ let test_cache_lru () =
   Alcotest.(check bool) "different engine = different key" true
     (Cache.find cache
        { (key "a") with Cache.engine = Exec.Plan.Vectorized }
+    = None);
+  Alcotest.(check bool) "different strategy = different key" true
+    (Cache.find cache
+       { (key "a") with Cache.strategy = Core.Batched Optimizer.Planner.Auto }
     = None);
   let epoch_before = Cache.epoch cache in
   Alcotest.(check int) "invalidate drops all" 2 (Cache.invalidate cache);
@@ -294,6 +282,37 @@ let test_server_prepare_execute () =
   (* close ends the conversation *)
   let _, disposition = send server s {|{"op": "close"}|} in
   Alcotest.(check bool) "close closes" true (disposition = `Close);
+  Server.close_session server s
+
+(* Regression: the strategy knob is part of the plan-cache key.  Before
+   PR 8 the key dropped it, so the same SQL under a different --strategy
+   could hit the entry prepared under another strategy; each strategy must
+   be its own cell, and the response's strategy field must report the path
+   actually taken (not just the transformed/nested bool). *)
+let test_server_strategy_is_cache_key () =
+  let server = Server.create ~cache_capacity:8 (count_bug_db ()) in
+  let s = Server.open_session server in
+  let j = send_ok server s (query_line q2) in
+  Alcotest.(check string) "auto run misses" "miss" (str_member "cache" j);
+  Alcotest.(check string) "auto takes the rewrite" "transformed"
+    (str_member "strategy" j);
+  let n = send_ok server s (query_line ~extra:{|, "strategy": "nested"|} q2) in
+  Alcotest.(check string) "nested cell misses" "miss" (str_member "cache" n);
+  Alcotest.(check string) "nested path reported" "nested_iteration"
+    (str_member "strategy" n);
+  let b = send_ok server s (query_line ~extra:{|, "strategy": "batched"|} q2) in
+  Alcotest.(check string) "batched cell misses" "miss" (str_member "cache" b);
+  Alcotest.(check string) "batched path reported" "batched"
+    (str_member "strategy" b);
+  Alcotest.(check int) "all strategies agree on cardinality"
+    (int_member "row_count" j)
+    (int_member "row_count" b);
+  Alcotest.(check int) "nested agrees too"
+    (int_member "row_count" j)
+    (int_member "row_count" n);
+  (* a replay under the same strategy hits its own cell *)
+  let b2 = send_ok server s (query_line ~extra:{|, "strategy": "batched"|} q2) in
+  Alcotest.(check string) "batched replay hits" "hit" (str_member "cache" b2);
   Server.close_session server s
 
 let test_server_load_invalidates () =
@@ -494,6 +513,8 @@ let suites =
       [
         Alcotest.test_case "prepare/execute hit accounting" `Quick
           test_server_prepare_execute;
+        Alcotest.test_case "strategy knob is part of the cache key" `Quick
+          test_server_strategy_is_cache_key;
         Alcotest.test_case "load invalidates and re-prepares" `Quick
           test_server_load_invalidates;
         Alcotest.test_case "eviction under capacity 1" `Quick

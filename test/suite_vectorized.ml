@@ -354,19 +354,10 @@ let test_scan_batches_match_pages () =
 (* ---------------- EXPLAIN ANALYZE surface ------------------------------ *)
 
 let define_fixture db =
-  let define name rel =
-    Core.define_table db name
-      (List.map
-         (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty))
-         (Schema.columns (Relation.schema rel)))
-      (List.map Row.to_list (Relation.rows rel))
-  in
-  define "PARTS" F.kiessling_parts;
-  define "SUPPLY" F.kiessling_supply
+  Fixtures.define_fixture db "PARTS" F.kiessling_parts;
+  Fixtures.define_fixture db "SUPPLY" F.kiessling_supply
 
-let count_bug_query =
-  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY \
-   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1-1-80')"
+let count_bug_query = Fixtures.count_bug_query
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
