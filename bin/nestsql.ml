@@ -255,22 +255,112 @@ let read_source = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let lint_cmd load_dir fixture tables buffer_pages page_bytes json file =
+(* --severity: the exit-1 gate.  "error" (the default) fails only on
+   error-severity diagnostics; "warning" also fails on warnings, so CI can
+   choose how strict to be without parsing the output. *)
+let severity_gate = function
+  | "error" -> fun diags -> Analysis.Diagnostics.has_errors diags
+  | "warning" ->
+      fun diags ->
+        List.exists
+          (fun (d : Analysis.Diagnostics.t) ->
+            match d.Analysis.Diagnostics.severity with
+            | Analysis.Diagnostics.Error | Analysis.Diagnostics.Warning -> true
+            | Analysis.Diagnostics.Info -> false)
+          diags
+  | other -> die ("unknown severity threshold " ^ other ^ " (want error or warning)")
+
+let lint_cmd load_dir fixture tables buffer_pages page_bytes json severity file
+    =
+  let gate = severity_gate severity in
   let src = read_source file in
   let fixture = Option.value (fixture_pragma src) ~default:fixture in
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let diags = Core.lint_query db (strip_sql_comments src) in
-  if json then print_endline (Analysis.Diagnostics.list_to_json diags)
+  if json then print_endline (Analysis.Diagnostics.json_report diags)
   else if diags = [] then Fmt.pr "no diagnostics@."
   else Fmt.pr "%s" (Analysis.Diagnostics.list_to_string diags);
-  if Analysis.Diagnostics.has_errors diags then exit 1
+  if gate diags then exit 1
+
+(* ---------------- check ------------------------------------------------- *)
+
+(* An input is in oracle-repro format when it carries inline table data
+   ("-- table" header lines); then the database comes from the file itself
+   rather than a fixture. *)
+let is_repro_format src =
+  List.exists
+    (fun line ->
+      let line = String.trim line in
+      String.length line >= 9 && String.sub line 0 9 = "-- table ")
+    (String.split_on_char '\n' src)
+
+let print_check_report i (r : Core.check_report) =
+  Fmt.pr "query %d: %s@." (i + 1) r.Core.ck_sql;
+  (match r.Core.ck_refused with
+  | Some msg -> Fmt.pr "  %s (nothing to check)@." msg
+  | None -> ());
+  if r.Core.ck_diags <> [] then
+    Fmt.pr "%s" (Analysis.Diagnostics.list_to_string r.Core.ck_diags);
+  (match r.Core.ck_certificate with
+  | Some c -> Fmt.pr "  %s@." c
+  | None -> ());
+  match r.Core.ck_repro with
+  | Some repro ->
+      Fmt.pr "  counterexample (replay with `nestsql fuzz --replay`):@.";
+      String.split_on_char '\n' (String.trim repro)
+      |> List.iter (fun line -> Fmt.pr "    %s@." line)
+  | None -> ()
+
+let check_report_json (r : Core.check_report) =
+  let module P = Server.Protocol in
+  let diags_json =
+    match P.parse (Analysis.Diagnostics.list_to_json r.Core.ck_diags) with
+    | Ok j -> j
+    | Error _ -> P.Str (Analysis.Diagnostics.list_to_json r.Core.ck_diags)
+  in
+  P.Obj
+    (("sql", P.Str r.Core.ck_sql)
+    :: ("diagnostics", diags_json)
+    :: List.filter_map Fun.id
+         [
+           Option.map (fun m -> ("refused", P.Str m)) r.Core.ck_refused;
+           Option.map (fun c -> ("certificate", P.Str c)) r.Core.ck_certificate;
+           Option.map (fun t -> ("repro", P.Str t)) r.Core.ck_repro;
+         ])
+
+let check_cmd load_dir fixture tables buffer_pages page_bytes json severity
+    bound file =
+  let gate = severity_gate severity in
+  let src = read_source file in
+  let db, sql =
+    if is_repro_format src then
+      match Oracle.Repro.of_string src with
+      | case -> (Oracle.Repro.build_db case, case.Oracle.Repro.sql)
+      | exception Oracle.Repro.Bad_repro msg -> die msg
+    else
+      let fixture = Option.value (fixture_pragma src) ~default:fixture in
+      ( setup_db load_dir fixture tables buffer_pages page_bytes,
+        strip_sql_comments src )
+  in
+  let reports = ok_or_die (Core.check_source ~bound db sql) in
+  (if json then
+     let module P = Server.Protocol in
+     print_endline
+       (P.to_string
+          (P.Obj
+             [
+               ("version", P.Int Analysis.Diagnostics.json_version);
+               ("queries", P.List (List.map check_report_json reports));
+             ]))
+   else List.iteri print_check_report reports);
+  if gate (List.concat_map (fun r -> r.Core.ck_diags) reports) then exit 1
 
 (* ---------------- fuzz -------------------------------------------------- *)
 
 (* Differential oracle: random databases and nested queries, every
    evaluation path cross-checked against nested iteration; discrepancies
    are delta-debugged to minimal repro files (docs/ORACLE.md). *)
-let fuzz_cmd seed count write_dir replays quiet refusals_below =
+let fuzz_cmd seed count write_dir replays quiet refusals_below check =
   let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
   (* --replay FILE/DIR: check existing repros instead of generating. *)
   if replays <> [] then begin
@@ -303,7 +393,7 @@ let fuzz_cmd seed count write_dir replays quiet refusals_below =
     end
   end
   else begin
-    let report = Oracle.Driver.run ~log ~seed ~count () in
+    let report = Oracle.Driver.run ~log ~check ~seed ~count () in
     Fmt.pr "%a@." Oracle.Driver.pp_report report;
     (* --assert-refusals-below: a coverage ratchet.  Adding a strategy to
        the matrix must lower the total refusal count (more cells answer);
@@ -362,9 +452,10 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
   let db = setup_db load_dir fixture tables buffer_pages page_bytes in
   let strategy = ref Core.Auto in
   Fmt.pr
-    "nestsql %s — interactive shell.@.Enter SQL, EXPLAIN [ANALYZE] SQL or \
-     LINT SQL, or: \\tables, \\tree SQL, \\transform SQL, \\explain SQL, \
-     \\compare SQL, \\strategy auto|nested|transformed|batched, \\quit@.@."
+    "nestsql %s — interactive shell.@.Enter SQL, EXPLAIN [ANALYZE] SQL, \
+     LINT SQL or CHECK SQL, or: \\tables, \\tree SQL, \\transform SQL, \
+     \\explain SQL, \\compare SQL, \\strategy \
+     auto|nested|transformed|batched, \\quit@.@."
     Core.version;
   let show_tables () =
     List.iter
@@ -448,6 +539,12 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
           (match Core.lint_query db (after "LINT" line) with
           | [] -> Fmt.pr "no diagnostics@."
           | diags -> Fmt.pr "%s" (Analysis.Diagnostics.list_to_string diags));
+          loop ()
+        end
+        else if keyword "CHECK" line then begin
+          (match Core.check_source db (after "CHECK" line) with
+          | Ok reports -> List.iteri print_check_report reports
+          | Error msg -> Fmt.pr "error: %s@." msg);
           loop ()
         end
         else if starts_with "\\compare" line then begin
@@ -664,12 +761,55 @@ let cmds =
        in
        Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
      in
+     let severity =
+       let doc =
+         "Exit-1 threshold: error (default) fails only on error-severity \
+          diagnostics; warning also fails on warnings."
+       in
+       Arg.(value & opt string "error" & info [ "severity" ] ~docv:"LEVEL" ~doc)
+     in
      cmd "lint"
        "Lint nested queries: Kim classification cross-check, the paper's \
         bug-class warnings (NQ001-NQ003), hygiene checks, and structural \
-        verification of the transformed program.  Exits 1 on any \
-        error-severity diagnostic."
-       Term.(common (const lint_cmd) $ json $ file));
+        verification of the transformed program.  Exits 1 past the \
+        --severity threshold (default: any error)."
+       Term.(common (const lint_cmd) $ json $ severity $ file));
+    (let json =
+       let doc =
+         "Emit the report as one JSON object (schema in docs/LINT.md)."
+       in
+       Arg.(value & flag & info [ "json" ] ~doc)
+     in
+     let severity =
+       let doc =
+         "Exit-1 threshold: error (default) fails only on error-severity \
+          diagnostics; warning also fails on warnings."
+       in
+       Arg.(value & opt string "error" & info [ "severity" ] ~docv:"LEVEL" ~doc)
+     in
+     let bound =
+       let doc =
+         "Counterexample search bound: databases with up to $(docv) rows \
+          per relation are enumerated."
+       in
+       Arg.(value & opt int 2 & info [ "bound" ] ~docv:"K" ~doc)
+     in
+     let file =
+       let doc =
+         "Query file to check ('-' for stdin); one or more ';'-separated \
+          queries, or an oracle repro file ('-- table' data lines select \
+          the database from the file itself).  A '-- fixture: NAME' pragma \
+          selects the database otherwise."
+       in
+       Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+     in
+     cmd "check"
+       "Semantic checker: lower each query's transformed program and \
+        type-check every physical plan (NQ110-NQ115), then search for a \
+        bounded counterexample to the rewrite (NQ120-NQ122), printing a \
+        bounded-equivalence certificate or a replayable witness database. \
+        Exits 1 past the --severity threshold."
+       Term.(common (const check_cmd) $ json $ severity $ bound $ file));
     (let seed =
        let doc = "Random seed (the same seed reproduces the same run)." in
        Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
@@ -708,6 +848,15 @@ let cmds =
          & opt (some int) None
          & info [ "assert-refusals-below" ] ~docv:"N" ~doc)
      in
+     let check =
+       let doc =
+         "Also run the static checker over every generated case: typed \
+          plan validation plus the bounded counterexample search at k=2; \
+          an error-severity finding counts as a discrepancy even when all \
+          matrix cells agree."
+       in
+       Arg.(value & flag & info [ "check" ] ~doc)
+     in
      cmd "fuzz"
        "Differential oracle: random nested queries over random data \
         (NULLs, duplicate keys, empty relations), every rewrite / batched \
@@ -716,7 +865,7 @@ let cmds =
         if any cell disagrees."
        Term.(
          const fuzz_cmd $ seed $ count $ write_dir $ replays $ quiet
-         $ refusals_below));
+         $ refusals_below $ check));
     cmd "tables" "List the tables of the selected database."
       (common Term.(const tables_cmd));
     cmd "repl" "Interactive shell (SQL plus backslash commands)."

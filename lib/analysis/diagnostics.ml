@@ -64,6 +64,36 @@ let catalogue : (string * string * severity * string) list =
     ( "NQ100", "syntax-error", Error, "the query does not parse" );
     ( "NQ101", "resolution-error", Error,
       "name resolution or typing failed (analyzer diagnostic)" );
+    ( "NQ110", "plan-unresolved", Error,
+      "a physical plan node references a table or column its input does \
+       not provide, or carries a predicate the executor cannot compile" );
+    ( "NQ111", "plan-type-mismatch", Error,
+      "a physical plan predicate or join condition compares columns of \
+       incompatible types" );
+    ( "NQ112", "plan-nullability", Error,
+      "null-provenance violation: COUNT above a preserving (left outer) \
+       join counts a column padding can never make NULL, so empty groups \
+       count 1 instead of 0 (sec. 5.2.1)" );
+    ( "NQ113", "plan-group-scoping", Error,
+      "a grouped plan operator's keys or aggregate arguments do not \
+       resolve in its input, or its aggregate output names collide" );
+    ( "NQ114", "plan-sort-contract", Error,
+      "an operator that requires sorted input (sorted GROUP BY, merge \
+       join) sits on input provably sorted on different columns" );
+    ( "NQ115", "plan-operator-contract", Error,
+      "a physical operator's method contract is violated (merge/hash join \
+       without an equality condition, index join without an index or a \
+       base-table scan)" );
+    ( "NQ120", "rewrite-not-equivalent", Error,
+      "bounded counterexample search found a database on which the \
+       transformed program disagrees with the original query" );
+    ( "NQ121", "equivalence-bounded", Info,
+      "the transformed program agrees with the original query on every \
+       database up to the search bound (a bounded-equivalence \
+       certificate, not a proof)" );
+    ( "NQ122", "equivalence-inconclusive", Warning,
+      "bounded counterexample search gave up (unsupported shape or search \
+       budget exhausted); the rewrite is neither certified nor refuted" );
     ( "NQ900", "non-canonical-program", Error,
       "a transformed program still contains a nested predicate" );
     ( "NQ901", "dangling-reference", Error,
@@ -162,3 +192,12 @@ let to_json (d : t) =
 
 let list_to_json diags =
   "[" ^ String.concat "," (List.map to_json (sort diags)) ^ "]"
+
+(* The stable CI surface (`nestsql lint --json`): a versioned envelope so
+   consumers can detect schema changes.  Version history in docs/LINT.md;
+   bump [json_version] on any incompatible change to [to_json]. *)
+let json_version = 1
+
+let json_report diags =
+  Printf.sprintf {|{"version":%d,"errors":%b,"diagnostics":%s}|} json_version
+    (has_errors diags) (list_to_json diags)

@@ -46,3 +46,12 @@ val list_to_string : t list -> string
 val to_json : t -> string
 
 val list_to_json : t list -> string
+
+val json_version : int
+(** Schema version of {!json_report} (and the [version] field of the
+    server's lint responses).  Bumped on any incompatible change; history
+    in docs/LINT.md. *)
+
+val json_report : t list -> string
+(** The versioned envelope `nestsql lint --json` prints:
+    [{"version":N,"errors":B,"diagnostics":[...]}]. *)

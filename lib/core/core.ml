@@ -148,6 +148,92 @@ let correlation_graph db text =
   Result.map Analysis.Correlation_graph.build (parse db text)
 
 (* ------------------------------------------------------------------ *)
+(* Semantic checking (plan validation + bounded equivalence)           *)
+(* ------------------------------------------------------------------ *)
+
+(* One query through both checker passes: lower the transformed program
+   and type-check every physical plan (NQ110-NQ115), then search for a
+   bounded counterexample to the rewrite (NQ120-NQ122).  A query the
+   transformation refuses yields an empty report — there is no rewrite to
+   falsify, and the refusal itself is the lint layer's business. *)
+type check_report = {
+  ck_sql : string;  (* canonical rendering of the checked query *)
+  ck_refused : string option;  (* transformation refusal, when any *)
+  ck_diags : Analysis.Diagnostics.t list;
+  ck_verdict : Analysis.Equiv_check.verdict option;
+  ck_certificate : string option;
+  ck_repro : string option;  (* witness database as a replayable .sql *)
+}
+
+let check_query ?(bound = 2) db (q : Sql.Ast.query) : check_report =
+  let ck_sql = Sql.Pp.query_to_string q in
+  match transform_query db q with
+  | Error msg ->
+      {
+        ck_sql;
+        ck_refused = Some msg;
+        ck_diags = [];
+        ck_verdict = None;
+        ck_certificate = None;
+        ck_repro = None;
+      }
+  | Ok program ->
+      let plan_diags = Optimizer.Planner.check_program db.catalog program in
+      let temps =
+        List.map
+          (fun { Optimizer.Program.name; def } -> (name, def))
+          program.Optimizer.Program.temps
+      in
+      let verdict =
+        Analysis.Equiv_check.check ~bound
+          ~nullable:(column_nullable db)
+          ~lookup:(Catalog.lookup db.catalog)
+          ~temps ~main:program.Optimizer.Program.main q
+      in
+      let repro =
+        match verdict with
+        | Analysis.Equiv_check.Not_equivalent w ->
+            Some (Analysis.Equiv_check.witness_to_repro ~original:q w)
+        | _ -> None
+      in
+      {
+        ck_sql;
+        ck_refused = None;
+        ck_diags =
+          Analysis.Diagnostics.sort
+            (plan_diags
+            @ Analysis.Equiv_check.diagnostics ~span:q.Sql.Ast.span verdict);
+        ck_verdict = Some verdict;
+        ck_certificate = Some (Analysis.Equiv_check.certificate verdict);
+        ck_repro = repro;
+      }
+
+(* Check one or more ';'-separated queries (the `nestsql check` surface). *)
+let check_source ?bound db text : (check_report list, string) result =
+  match Sql.Parser.parse_many_exn text with
+  | exception Sql.Parser.Error (_, msg) -> Error msg
+  | exception Sql.Lexer.Error (_, msg) -> Error msg
+  | queries -> (
+      let analyzed =
+        List.map
+          (Sql.Analyzer.analyze ~lookup:(Catalog.lookup db.catalog))
+          queries
+      in
+      match
+        List.find_map
+          (function Error msg -> Some msg | Ok _ -> None)
+          analyzed
+      with
+      | Some msg -> Error msg
+      | None ->
+          Ok
+            (List.map
+               (function
+                 | Ok q -> check_query ?bound db q
+                 | Error _ -> assert false)
+               analyzed))
+
+(* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -221,8 +307,8 @@ let prepare_query ?(rewrite_not_in = false) db q =
 let prepare ?rewrite_not_in db text =
   Result.map (prepare_query ?rewrite_not_in db) (parse db text)
 
-let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
-    (p : prepared) : (execution, string) result =
+let run_prepared ?(strategy = Auto) ?(check = false) ?mode ?engine ?trace
+    ?on_fallback db (p : prepared) : (execution, string) result =
   let q = p.query in
   let pager = Catalog.pager db.catalog in
   (* one instrumentation session for the whole pipeline; nested iteration
@@ -275,8 +361,8 @@ let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
     | Ok program -> (
         let before = Pager.snapshot pager in
         match
-          Optimizer.Planner.run_program ~force ?mode ~verify:true ?engine
-            ?session db.catalog program
+          Optimizer.Planner.run_program ~force ?mode ~verify:true ~check
+            ?engine ?session db.catalog program
         with
         | result ->
             (* ORDER BY is presentation, not plan structure: the nested
@@ -333,11 +419,12 @@ let run_prepared ?(strategy = Auto) ?mode ?engine ?trace ?on_fallback db
             run_nested ()
           end)
 
-let run ?strategy ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db text :
-    (execution, string) result =
+let run ?strategy ?check ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db
+    text : (execution, string) result =
   match prepare ?rewrite_not_in db text with
   | Error _ as e -> e
-  | Ok p -> run_prepared ?strategy ?mode ?engine ?trace ?on_fallback db p
+  | Ok p ->
+      run_prepared ?strategy ?check ?mode ?engine ?trace ?on_fallback db p
 
 (* Convenience: the relation only. *)
 let query db text : (Relation.t, string) result =
@@ -365,15 +452,36 @@ let explain_query ?strategy ?mode ?(analyze = false) ?engine ?trace db text :
   | Some Nested_iteration ->
       Error "nested iteration has no physical plan to explain"
   | Some (Transformed _) | Some Auto | None -> (
-      match transform db text with
+      match parse db text with
       | Error _ as e -> e
-      | Ok program -> (
-          match
-            Optimizer.Planner.explain_text ?mode ~analyze ?engine ?trace
-              db.catalog program
-          with
-          | text -> Ok text
-          | exception Optimizer.Planner.Planning_error msg -> Error msg))
+      | Ok q -> (
+          match transform_query db q with
+          | Error _ as e -> e
+          | Ok program -> (
+              match
+                Optimizer.Planner.explain_text ?mode ~analyze ?engine ?trace
+                  db.catalog program
+              with
+              | text ->
+                  (* Every accepted rewrite carries its bounded-equivalence
+                     certificate: the counterexample search at k=2 over the
+                     abstract {const₁, const₂, NULL} domain, summarized in
+                     one line (see docs/LINT.md). *)
+                  let temps =
+                    List.map
+                      (fun { Optimizer.Program.name; def } -> (name, def))
+                      program.Optimizer.Program.temps
+                  in
+                  let verdict =
+                    Analysis.Equiv_check.check
+                      ~nullable:(column_nullable db)
+                      ~lookup:(Catalog.lookup db.catalog)
+                      ~temps ~main:program.Optimizer.Program.main q
+                  in
+                  Ok
+                    (text ^ "\n"
+                    ^ Analysis.Equiv_check.certificate verdict)
+              | exception Optimizer.Planner.Planning_error msg -> Error msg)))
 
 let explain db text : (string, string) result = explain_query db text
 

@@ -67,6 +67,32 @@ val lint_query : db -> string -> Analysis.Diagnostics.t list
 val correlation_graph :
   db -> string -> (Analysis.Correlation_graph.t, string) result
 
+type check_report = {
+  ck_sql : string;  (** canonical rendering of the checked query *)
+  ck_refused : string option;
+      (** the transformation refusal message, when the query has no rewrite
+          to check *)
+  ck_diags : Analysis.Diagnostics.t list;
+      (** plan-validation (NQ110–NQ115) and equivalence (NQ120–NQ122)
+          diagnostics, sorted *)
+  ck_verdict : Analysis.Equiv_check.verdict option;
+  ck_certificate : string option;
+      (** one-line bounded-equivalence certificate *)
+  ck_repro : string option;
+      (** counterexample database as a replayable oracle repro [.sql] *)
+}
+(** The result of the semantic checker over one query: typed validation of
+    every lowered physical plan of its transformed program, plus the
+    bounded counterexample search for the rewrite itself. *)
+
+(** Check one analyzed query (see {!check_source} for text input).
+    [bound] is the rows-per-relation search bound (default 2). *)
+val check_query : ?bound:int -> db -> Sql.Ast.query -> check_report
+
+(** Parse, analyze and {!check_query} one or more ';'-separated queries. *)
+val check_source :
+  ?bound:int -> db -> string -> (check_report list, string) result
+
 type strategy =
   | Nested_iteration  (** the System R method, over paged storage *)
   | Transformed of Optimizer.Planner.join_choice
@@ -135,6 +161,7 @@ val prepare_query : ?rewrite_not_in:bool -> db -> Sql.Ast.query -> prepared
     engines under the oracle comparator. *)
 val run_prepared :
   ?strategy:strategy ->
+  ?check:bool ->
   ?mode:Optimizer.Planner.mode ->
   ?engine:Exec.Plan.engine ->
   ?trace:(string -> unit) ->
@@ -153,9 +180,12 @@ val run_prepared :
     ignores it.  Transformed programs are structurally verified
     ({!Optimizer.Planner.verify_program}) before running; under [Auto] a
     refused program falls back to nested iteration and [on_fallback]
-    receives the warning. *)
+    receives the warning.  [check] additionally type-checks every lowered
+    physical plan ({!Analysis.Plan_check}) before it executes and refuses
+    on any violation. *)
 val run :
   ?strategy:strategy ->
+  ?check:bool ->
   ?rewrite_not_in:bool ->
   ?mode:Optimizer.Planner.mode ->
   ?engine:Exec.Plan.engine ->

@@ -41,7 +41,28 @@ let fails case =
 
 let shrunk case = Shrink.minimize ~still_fails:fails case
 
-let run ?(log = ignore) ~seed ~count () : report =
+(* Static cross-check of a generated case: the bounded counterexample
+   search over the case's own query (Analysis.Equiv_check at k=2) plus the
+   plan checker, via [Core.check_query].  Any Error diagnostic — a
+   counterexample to a guard-accepted rewrite, or an ill-typed plan — is a
+   bug in its own right even when every matrix cell agreed, so it comes
+   back as a discrepancy line. *)
+let static_check_details (case : Repro.case) : string list =
+  let db = Repro.build_db case in
+  match Core.parse db case.Repro.sql with
+  | Error _ -> []
+  | Ok q ->
+      let report = Core.check_query db q in
+      List.filter_map
+        (fun (d : Analysis.Diagnostics.t) ->
+          if d.Analysis.Diagnostics.severity = Analysis.Diagnostics.Error then
+            Some
+              ("static check: " ^ d.Analysis.Diagnostics.code ^ " "
+             ^ d.Analysis.Diagnostics.message)
+          else None)
+        report.Core.ck_diags
+
+let run ?(log = ignore) ?(check = false) ~seed ~count () : report =
   let rng = Random.State.make [| seed |] in
   let executed = ref 0 and refusals = ref 0 and discrepancies = ref [] in
   for index = 0 to count - 1 do
@@ -55,6 +76,7 @@ let run ?(log = ignore) ~seed ~count () : report =
       | Error msg -> [ "reference failed: " ^ msg ]
       | Ok _ -> Matrix.describe result
     in
+    let static_bad = if check then static_check_details case else [] in
     if bad <> [] then begin
       log
         (Printf.sprintf "case %d: %d disagreeing cell(s); shrinking — %s"
@@ -71,6 +93,12 @@ let run ?(log = ignore) ~seed ~count () : report =
       let details = if details = [] then bad else details in
       discrepancies := { index; case; details } :: !discrepancies
     end
+    else if static_bad <> [] then
+      (* the dynamic matrix agreed but the static checker objects — the
+         shrinker's predicate (matrix disagreement) cannot chase this, so
+         record the case unshrunk *)
+      discrepancies :=
+        { index; case; details = static_bad } :: !discrepancies
     else if index mod 50 = 49 then
       log (Printf.sprintf "%d/%d cases clean" (index + 1) count)
   done;

@@ -17,7 +17,17 @@ type report = {
 (** Does any matrix cell disagree on [case]?  (The shrinker's predicate.) *)
 val fails : Repro.case -> bool
 
-val run : ?log:(string -> unit) -> seed:int -> count:int -> unit -> report
+(** [check] runs the static checker ([Core.check_query]: plan validation
+    plus the bounded counterexample search at k=2) over every generated
+    case; an Error-severity diagnostic counts as a discrepancy even when
+    all matrix cells agree. *)
+val run :
+  ?log:(string -> unit) ->
+  ?check:bool ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
 
 (** Replay one repro file through the full matrix: [Ok ()] iff every cell
     agrees or refuses. *)

@@ -202,8 +202,10 @@ let run_reference (case : Repro.case) : (Relation.t, string) Stdlib.result =
 
 (* Each candidate runs against its own freshly loaded database: a failed
    program can leave temps behind, and pager/statistics state must not
-   leak between grid cells. *)
-let run_candidate (case : Repro.case) candidate :
+   leak between grid cells.  [check] additionally type-checks every
+   lowered physical plan (Analysis.Plan_check via Core) before it runs —
+   a violation surfaces as a Failed cell, never a silent wrong answer. *)
+let run_candidate ?(check = false) (case : Repro.case) candidate :
     (Relation.t, string) Stdlib.result =
   let db = Repro.build_db case in
   let strategy =
@@ -221,12 +223,13 @@ let run_candidate (case : Repro.case) candidate :
         (rewrite_not_in, Some mode, Some engine)
     | Batched { mode; engine; _ } -> (false, Some mode, Some engine)
   in
-  match Core.run ~strategy ~rewrite_not_in ?mode ?engine db case.sql with
+  match Core.run ~strategy ~check ~rewrite_not_in ?mode ?engine db case.sql with
   | Ok e -> Ok e.Core.result
   | Error _ as e -> e
   | exception Exec.Nested_iter.Runtime_error msg -> Error ("runtime: " ^ msg)
 
-let run_case ?(candidates = all_candidates) (case : Repro.case) : result =
+let run_case ?(candidates = all_candidates) ?check (case : Repro.case) :
+    result =
   match run_reference case with
   | Error _ as reference -> { reference; outcomes = [] }
   | Ok reference ->
@@ -240,7 +243,7 @@ let run_case ?(candidates = all_candidates) (case : Repro.case) : result =
         List.map
           (fun candidate ->
             let verdict =
-              match run_candidate case candidate with
+              match run_candidate ?check case candidate with
               | Ok got ->
                   if results_agree ~q ~reference ~got then Agree
                   else Mismatch { expected = reference; got }

@@ -311,7 +311,7 @@ type request =
   | Prepare of { name : string; sql : string; knobs : knobs }
   | Execute of { name : string }
   | Explain of { sql : string; analyze : bool; knobs : knobs }
-  | Lint of { sql : string }
+  | Lint of { sql : string; check : bool }
   | Load of {
       table : string;
       columns : (string * Value.ty) list;
@@ -445,7 +445,8 @@ let request_of_line line : (request, string) result =
       Ok (Explain { sql; analyze = Option.value analyze ~default:false; knobs })
   | "lint" ->
       let* sql = str_field j "sql" in
-      Ok (Lint { sql })
+      let* check = bool_field_opt j "check" in
+      Ok (Lint { sql; check = Option.value check ~default:false })
   | "load" ->
       let* table = str_field j "table" in
       let* columns =

@@ -67,7 +67,9 @@ type request =
   | Prepare of { name : string; sql : string; knobs : knobs }
   | Execute of { name : string }
   | Explain of { sql : string; analyze : bool; knobs : knobs }
-  | Lint of { sql : string }
+  | Lint of { sql : string; check : bool }
+      (** [check] additionally runs the semantic checker (plan validation
+          + bounded equivalence search) over each query *)
   | Load of {
       table : string;
       columns : (string * Relalg.Value.ty) list;

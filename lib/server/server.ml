@@ -242,8 +242,21 @@ let do_explain t ~knobs ~analyze sql =
   | Ok text -> P.ok_response [ ("text", P.Str text) ]
   | Error e -> P.error_response e
 
-let do_lint t sql =
-  let diags = Core.lint_query t.db sql in
+let do_lint t ~check sql =
+  let lint_diags = Core.lint_query t.db sql in
+  (* With [check], the semantic checker rides along: plan validation and
+     the bounded counterexample search per query, its diagnostics merged
+     into the same list and its per-query certificates reported. *)
+  let check_diags, certificates =
+    if not check then ([], [])
+    else
+      match Core.check_source t.db sql with
+      | Error _ -> ([], [])
+      | Ok reports ->
+          ( List.concat_map (fun r -> r.Core.ck_diags) reports,
+            List.filter_map (fun r -> r.Core.ck_certificate) reports )
+  in
+  let diags = Analysis.Diagnostics.sort (lint_diags @ check_diags) in
   let diags_json =
     (* Diagnostics render themselves to JSON text; round-trip through the
        protocol parser to embed them structurally. *)
@@ -252,10 +265,12 @@ let do_lint t sql =
     | Error _ -> P.Str (Analysis.Diagnostics.list_to_json diags)
   in
   P.ok_response
-    [
-      ("diagnostics", diags_json);
-      ("errors", P.Bool (Analysis.Diagnostics.has_errors diags));
-    ]
+    (("version", P.Int 1)
+    :: ("diagnostics", diags_json)
+    :: ("errors", P.Bool (Analysis.Diagnostics.has_errors diags))
+    :: (if check then
+          [ ("certificates", P.List (List.map (fun c -> P.Str c) certificates)) ]
+        else []))
 
 let do_load t ~table ~columns ~rows =
   match
@@ -338,7 +353,8 @@ let handle_line t session line : string * [ `Continue | `Close ] =
               with_lock t.lock (fun () -> do_execute t session ~name)
           | P.Explain { sql; analyze; knobs } ->
               with_lock t.lock (fun () -> do_explain t ~knobs ~analyze sql)
-          | P.Lint { sql } -> with_lock t.lock (fun () -> do_lint t sql)
+          | P.Lint { sql; check } ->
+              with_lock t.lock (fun () -> do_lint t ~check sql)
           | P.Load { table; columns; rows } ->
               with_lock t.lock (fun () -> do_load t ~table ~columns ~rows)
           | P.Stats -> do_stats t session

@@ -322,12 +322,27 @@ and analyze_predicate ctx scope (p : predicate) : predicate =
 let analyze_exn ~lookup q = analyze_query { lookup; emit = None } [] q
 
 (* Best-effort rewrite plus *every* violation as positioned diagnostics.
-   When the diagnostic list is empty the returned query is fully analyzed. *)
+   When the diagnostic list is empty the returned query is fully analyzed.
+   Diagnostics are sorted by source position (unknown spans last), then by
+   message for a deterministic tie-break — traversal order visits WHERE
+   before SELECT in some passes, which used to leak out as
+   position-disordered reports. *)
 let analyze_all ~lookup q : query * diag list =
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let q' = analyze_query { lookup; emit = Some emit } [] q in
-  (q', List.rev !diags)
+  let position { dspan; _ } =
+    if span_known dspan then
+      (0, dspan.sp_start.line, dspan.sp_start.col, dspan.sp_end.line,
+       dspan.sp_end.col)
+    else (1, 0, 0, 0, 0)
+  in
+  let order a b =
+    match compare (position a) (position b) with
+    | 0 -> compare a.dmsg b.dmsg
+    | c -> c
+  in
+  (q', List.stable_sort order (List.rev !diags))
 
 let format_diag { dspan; dmsg } =
   if span_known dspan then Fmt.str "%a: %s" pp_span dspan dmsg else dmsg
