@@ -35,16 +35,17 @@ check-corpus:
 	done
 
 # Differential oracle smoke run (docs/ORACLE.md): fixed seed, 500 random
-# nested queries, each through the full 49-cell candidate matrix (rewrite,
-# batched and Auto columns, both execution engines) and the static
-# checker (--check), plus a replay of the shrunk regression corpus.
+# nested queries, each through the full 54-cell candidate matrix (rewrite,
+# batched, Auto and index-axis columns, both execution engines) and the
+# static checker (--check), plus a replay of the shrunk regression corpus.
 # Exits non-zero on any discrepancy, and on a refusal-count regression:
-# seed 42 x 500 refuses exactly 600 candidate cells today (soundness
-# guards + the unbatchable shape), so the ratchet pins 601 — a rewrite
-# that starts refusing shapes it used to handle trips it.
+# seed 42 x 500 refuses exactly 670 candidate cells today (soundness
+# guards + the unbatchable shape, including the indexed-rewrite cells'
+# share), so the ratchet pins 671 — a rewrite that starts refusing shapes
+# it used to handle trips it.
 fuzz-smoke:
 	dune build bin/nestsql.exe
-	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q --check --assert-refusals-below 601
+	dune exec bin/nestsql.exe -- fuzz --seed 42 --count 500 -q --check --assert-refusals-below 671
 	dune exec bin/nestsql.exe -- fuzz --replay examples/queries/regressions -q
 
 # End-to-end server smoke (docs/SERVER.md): start `nestsql serve` on a
@@ -64,11 +65,13 @@ bench-json:
 	dune exec bench/main.exe -- --json
 
 # CI-speed structural run of the same code path: one small scale, fewer
-# reps, writes BENCH_perf.smoke.json and exits non-zero if the v4 schema
-# validation fails or batched fails to beat nested iteration on the
-# rewrite-refused skewed type-JA cell.  Not a perf artifact — it proves
-# the bench harness, both engines and all three strategies still run end
-# to end.
+# reps, writes BENCH_perf.smoke.json and exits non-zero if the v5 schema
+# validation fails, batched fails to beat nested iteration on the
+# rewrite-refused skewed type-JA cell, indexed nested iteration fails to
+# beat the unindexed enumeration on physical I/O in the crossover sweep,
+# or no crossover cell picks the untransformed indexed strategy.  Not a
+# perf artifact — it proves the bench harness, both engines and all
+# strategies still run end to end.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 

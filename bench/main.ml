@@ -1043,14 +1043,130 @@ let json_batched_comparison ~scales ~warmup ~reps () =
         skew_queries)
     scales
 
-(* Structural v4 schema check on the serialized document: every required
+(* The §7 crossover: a 10k-row SUPPLY with a B-tree on PNUM, outer size
+   swept.  Small outers probe a handful of keys — un-transformed indexed
+   nested iteration undercuts any transformed program (which must scan
+   all of SUPPLY into a temp); large outers amortize the scan and the
+   transformation wins.  Each cell records the cost model's estimates
+   (indexed_nested_cost vs transformed_floor — what Core.Auto decides
+   with) next to measured I/O for all three executions, and the section
+   reports the first outer size at which the estimate flips to
+   transformed.  Asserted per cell: indexed nested iteration beats the
+   {e unindexed} enumeration on total page I/O (the probe must pay off),
+   and whenever the estimate picks nested, measured I/O must agree. *)
+let crossover_queries =
+  [
+    ( "type-J",
+      "SELECT PNUM FROM PARTS WHERE QOH IN (SELECT QUAN FROM SUPPLY WHERE \
+       SUPPLY.PNUM = PARTS.PNUM)" );
+    ( "type-JA",
+      "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(QUAN) FROM SUPPLY \
+       WHERE SUPPLY.PNUM = PARTS.PNUM)" );
+  ]
+
+let json_index_crossover ~outer_sizes ~warmup ~reps () =
+  (* Sparse keys: SUPPLY's PNUM spread over [key_range] values, so each
+     outer probe fetches ~supply_rows/key_range matches — the selective
+     regime where an index pays.  (scaled_catalog's dense keys would make
+     every enumeration fetch all 10k rows regardless of outer size.)  The
+     pool is smaller than SUPPLY's file, so the unindexed enumeration's
+     rescans thrash and show up as physical I/O. *)
+  let supply_rows = 10_000 and key_range = 1_000 in
+  let cell (kind, text) n_parts =
+    let fresh ~indexed () =
+      let rng = Random.State.make [| 42 |] in
+      let catalog =
+        G.catalog_of ~buffer_pages:256 ~page_bytes:256
+          [
+            ("PARTS", G.parts rng ~n:n_parts ~key_range);
+            ("SUPPLY", G.supply rng ~n:supply_rows ~key_range);
+          ]
+      in
+      if indexed then Catalog.create_index catalog "SUPPLY" ~column:"PNUM";
+      catalog
+    in
+    let time ~indexed run_of =
+      let once () =
+        let catalog = fresh ~indexed () in
+        let q = F.parse_analyzed catalog text in
+        let result, wall, io = time_io catalog (run_of catalog q) in
+        { s_rows = Relation.cardinality result; s_wall = wall; s_io = io }
+      in
+      for _ = 1 to warmup do
+        ignore (once ())
+      done;
+      median_sample (List.init reps (fun _ -> once ()))
+    in
+    let nested catalog q () = Exec.Sysr_iteration.run catalog q in
+    let transformed catalog q =
+      let program =
+        Nest_g.transform
+          ~fresh:(fun () -> Catalog.fresh_temp_name catalog)
+          q
+      in
+      fun () -> Planner.run_program ~mode:Planner.Hybrid catalog program
+    in
+    let indexed = time ~indexed:true nested in
+    let unindexed = time ~indexed:false nested in
+    let rewritten = time ~indexed:true transformed in
+    (* the estimates Core.Auto decides with, on the indexed catalog *)
+    let est_catalog = fresh ~indexed:true () in
+    let q = F.parse_analyzed est_catalog text in
+    let est_nested = Estimate.indexed_nested_cost est_catalog q in
+    let floor = Estimate.transformed_floor est_catalog q in
+    let picks_nested =
+      match est_nested with Some c -> c < floor | None -> false
+    in
+    let cell_json =
+      json_obj
+        [
+          ("query", json_str kind);
+          ("outer_rows", json_i n_parts);
+          ("supply_rows", json_i supply_rows);
+          ("key_range", json_i key_range);
+          ( "est_nested_cost",
+            match est_nested with Some c -> json_f c | None -> "null" );
+          ("transformed_floor", json_f floor);
+          ("picked", json_str (if picks_nested then "nested" else "transformed"));
+          ( "strategies",
+            json_arr
+              [
+                strategy_json ~name:"indexed_nested" ~engine:"tuple" indexed;
+                strategy_json ~name:"unindexed_nested" ~engine:"tuple"
+                  unindexed;
+                strategy_json ~name:"transformed_hybrid" ~engine:"tuple"
+                  rewritten;
+              ] );
+        ]
+    in
+    let probe_pays =
+      Pager.total_io indexed.s_io < Pager.total_io unindexed.s_io
+    in
+    let decision_sound =
+      (not picks_nested)
+      || Pager.total_io indexed.s_io <= Pager.total_io rewritten.s_io
+    in
+    (kind, n_parts, picks_nested, indexed, unindexed, rewritten, probe_pays,
+     decision_sound, cell_json)
+  in
+  List.concat_map
+    (fun query -> List.map (cell query) outer_sizes)
+    crossover_queries
+
+(* Structural v5 schema check on the serialized document: every required
    key must appear.  Substring-based — the emitter writes fixed key
    strings, so this is exact enough to catch a key rename or a dropped
    section without pulling in a JSON parser. *)
-let validate_v4 doc =
+let validate_v5 doc =
   let required =
     [
-      "\"schema_version\":4";
+      "\"schema_version\":5";
+      "\"index_crossover\":";
+      "\"est_nested_cost\":";
+      "\"transformed_floor\":";
+      "\"picked\":\"nested\"";
+      "\"crossover_outer_rows\":";
+      "\"name\":\"indexed_nested\"";
       "\"batched_comparison\":";
       "\"name\":\"batched\"";
       "\"batched_speedup_vs_nested\":";
@@ -1096,6 +1212,21 @@ let json_bench ~smoke () =
       ~scales:(if smoke then [ 1_000 ] else [ 1_000; 10_000 ])
       ~warmup ~reps:(min reps 3) ()
   in
+  (* the §7 index crossover: outer size swept against a fixed 10k SUPPLY *)
+  let crossover =
+    json_index_crossover
+      ~outer_sizes:(if smoke then [ 4; 64 ] else [ 4; 16; 64; 256 ])
+      ~warmup ~reps:(min reps 3) ()
+  in
+  (* smallest outer size at which the estimates flip to transformed *)
+  let crossover_point kind' =
+    List.fold_left
+      (fun acc (kind, n, picks_nested, _, _, _, _, _, _) ->
+        if kind = kind' && not picks_nested then
+          Some (match acc with Some m -> min m n | None -> n)
+        else acc)
+      None crossover
+  in
   (* Headline numbers at the largest scale of this run (10k supply rows on
      the full grid): hybrid-vs-paper, and vectorized-vs-tuple on the hybrid
      plans. *)
@@ -1113,19 +1244,41 @@ let json_bench ~smoke () =
   let doc =
     json_obj
       [
-        (* v4: adds "batched_comparison" — the three-strategy head-to-head
-           on duplicate-skewed keys, with per-cell "rewrite_refused" and
-           "batched_speedup_vs_nested".  v3 keys unchanged: every
-           transformed cell runs under both engines ("engine" field),
-           timing is median-of-k with warm-up ("timing" object), per-cell
-           "vectorized_speedup_vs_tuple", headline
+        (* v5: adds "index_crossover" — indexed vs unindexed nested
+           iteration vs the hybrid rewrite with a B-tree on SUPPLY.PNUM,
+           outer size swept; per-cell cost-model verdict
+           ("est_nested_cost" / "transformed_floor" / "picked") and the
+           headline "crossover_outer_rows" where the estimate flips to
+           transformed.  v4 keys unchanged: "batched_comparison" — the
+           three-strategy head-to-head on duplicate-skewed keys, with
+           per-cell "rewrite_refused" and "batched_speedup_vs_nested";
+           every transformed cell runs under both engines ("engine"
+           field), timing is median-of-k with warm-up ("timing" object),
+           per-cell "vectorized_speedup_vs_tuple", headline
            "vectorized_speedup_10k", operator_breakdowns one entry per
            (query, engine). *)
-        ("schema_version", json_i 4);
+        ("schema_version", json_i 5);
         ("speedup_scale_supply_rows", json_i top_scale);
         ("queries", json_arr (List.map (fun (_, _, _, _, j) -> j) grid));
         ( "batched_comparison",
           json_arr (List.map (fun (_, _, _, _, _, j) -> j) skew) );
+        ( "index_crossover",
+          json_obj
+            [
+              ( "cells",
+                json_arr
+                  (List.map (fun (_, _, _, _, _, _, _, _, j) -> j) crossover)
+              );
+              ( "crossover_outer_rows",
+                json_obj
+                  (List.map
+                     (fun (kind, _) ->
+                       ( kind,
+                         match crossover_point kind with
+                         | Some n -> json_i n
+                         | None -> "null" ))
+                     crossover_queries) );
+            ] );
         ("pager_scaling", pager_json);
         ("hybrid_speedup_10k", json_obj (at_top (fun h _ -> h)));
         ("vectorized_speedup_10k", json_obj (at_top (fun _ v -> v)));
@@ -1156,6 +1309,24 @@ let json_bench ~smoke () =
         speedup
         (if refused then " (rewrite refused)" else ""))
     skew;
+  List.iter
+    (fun (kind, n, picks, indexed, unindexed, rewritten, _, _, _) ->
+      Fmt.pr
+        "%-8s %4d outer rows: estimate picks %-11s io indexed-nested %d / \
+         unindexed %d / transformed %d@."
+        kind n
+        (if picks then "nested;" else "transformed;")
+        (Pager.total_io indexed.s_io)
+        (Pager.total_io unindexed.s_io)
+        (Pager.total_io rewritten.s_io))
+    crossover;
+  List.iter
+    (fun (kind, _) ->
+      Fmt.pr "%-8s crossover to transformed at %s outer rows@." kind
+        (match crossover_point kind with
+        | Some n -> string_of_int n
+        | None -> "(none in sweep)"))
+    crossover_queries;
   Fmt.pr "wrote %s@." path;
   (* The refused cell is batching's reason to exist: if it is not faster
      than row-at-a-time nested iteration on skewed keys, the strategy (or
@@ -1173,10 +1344,47 @@ let json_bench ~smoke () =
       losses;
     exit 1
   end;
-  match validate_v4 doc with
-  | [] -> Fmt.pr "schema v4 check: ok@."
+  (* Index assertions: the probe must pay off (indexed nested beats the
+     unindexed enumeration on physical I/O at every cell), the §7 decision
+     must be sound (whenever the estimate picks nested, measured I/O must
+     agree), and the sweep must contain at least one cell where the
+     untransformed indexed iteration is the chosen strategy — the regime
+     the paper's uniform-transformation policy misses. *)
+  let index_losses =
+    List.filter
+      (fun (_, _, _, _, _, _, probe_pays, decision_sound, _) ->
+        not (probe_pays && decision_sound))
+      crossover
+  in
+  if index_losses <> [] then begin
+    List.iter
+      (fun (kind, n, picks, indexed, unindexed, rewritten, probe_pays, _, _) ->
+        Fmt.epr
+          "index crossover cell %s at %d outer rows FAILED (%s): io \
+           indexed-nested %d / unindexed %d / transformed %d@."
+          kind n
+          (if probe_pays then "estimate picked nested but lost on io"
+           else "indexed nested did not beat unindexed")
+          (Pager.total_io indexed.s_io)
+          (Pager.total_io unindexed.s_io)
+          (Pager.total_io rewritten.s_io);
+        ignore picks)
+      index_losses;
+    exit 1
+  end;
+  if
+    not
+      (List.exists (fun (_, _, picks, _, _, _, _, _, _) -> picks) crossover)
+  then begin
+    Fmt.epr
+      "no crossover cell picks indexed nested iteration — the §7 regime is \
+       gone@.";
+    exit 1
+  end;
+  match validate_v5 doc with
+  | [] -> Fmt.pr "schema v5 check: ok@."
   | missing ->
-      Fmt.epr "schema v4 check FAILED; missing keys:@.";
+      Fmt.epr "schema v5 check FAILED; missing keys:@.";
       List.iter (fun k -> Fmt.epr "  %s@." k) missing;
       exit 1
 

@@ -23,7 +23,7 @@ open Cmdliner
 
 (* ---------------- database setup -------------------------------------- *)
 
-let setup_db load_dir fixture tables buffer_pages page_bytes =
+let setup_db load_dir fixture tables buffer_pages page_bytes indexes =
   let db = Core.create_db ~buffer_pages ~page_bytes () in
   let define name rel =
     Core.define_table db name
@@ -60,6 +60,24 @@ let setup_db load_dir fixture tables buffer_pages page_bytes =
   (match load_dir with
   | Some dir -> Workload.Csv_writer.load_dir (Core.catalog db) dir
   | None -> ());
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '.' with
+      | None ->
+          failwith ("bad --index spec " ^ spec ^ " (want TABLE.COLUMN)")
+      | Some i ->
+          let table = String.sub spec 0 i in
+          let column = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match Catalog.lookup (Core.catalog db) table with
+          | None -> failwith ("--index: unknown table " ^ table)
+          | Some schema -> (
+              match Core.Schema.find_opt schema column with
+              | None ->
+                  failwith ("--index: no column " ^ column ^ " in " ^ table)
+              | exception Core.Schema.Ambiguous _ ->
+                  failwith ("--index: ambiguous column " ^ column)
+              | Some _ -> Core.create_index db table ~column))
+    indexes;
   db
 
 (* ---------------- common options -------------------------------------- *)
@@ -79,6 +97,14 @@ let load_dir =
 let buffer_pages =
   let doc = "Buffer pool size in pages (the paper's B)." in
   Arg.(value & opt int 8 & info [ "B"; "buffer-pages" ] ~docv:"N" ~doc)
+
+let indexes =
+  let doc =
+    "Build a B-tree index on TABLE.COLUMN before running (repeatable).  \
+     Indexed columns open the planner's IndexScan / index nested-loop \
+     access paths and Auto's un-transformed indexed nested iteration."
+  in
+  Arg.(value & opt_all string [] & info [ "i"; "index" ] ~docv:"TABLE.COLUMN" ~doc)
 
 let page_bytes =
   let doc = "Page size in bytes." in
@@ -157,9 +183,9 @@ let strategy_of_flag s =
 
 (* ---------------- commands -------------------------------------------- *)
 
-let run_cmd load_dir fixture tables buffer_pages page_bytes strategy mode
+let run_cmd load_dir fixture tables buffer_pages page_bytes indexes strategy mode
     engine exec_trace sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let strategy = strategy_of_flag strategy in
   let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
@@ -169,8 +195,8 @@ let run_cmd load_dir fixture tables buffer_pages page_bytes strategy mode
   in
   Fmt.pr "%a@.(%a)@." Core.Relation.pp e.Core.result Core.pp_execution e
 
-let compare_cmd load_dir fixture tables buffer_pages page_bytes sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let compare_cmd load_dir fixture tables buffer_pages page_bytes indexes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let c = ok_or_die (Core.compare_strategies db sql) in
   Fmt.pr "%a@.@." Core.Relation.pp c.Core.nested.Core.result;
   Fmt.pr "%a@." Core.pp_execution c.Core.nested;
@@ -179,14 +205,14 @@ let compare_cmd load_dir fixture tables buffer_pages page_bytes sql =
   | None -> Fmt.pr "transformation: not applicable@.");
   Fmt.pr "results agree (set semantics): %b@." c.Core.agree
 
-let classify_cmd load_dir fixture tables buffer_pages page_bytes sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let classify_cmd load_dir fixture tables buffer_pages page_bytes indexes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   match ok_or_die (Core.classify db sql) with
   | Some c -> Fmt.pr "%a@." Optimizer.Classify.pp c
   | None -> Fmt.pr "flat (no nesting)@."
 
-let transform_cmd load_dir fixture tables buffer_pages page_bytes trace sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let transform_cmd load_dir fixture tables buffer_pages page_bytes indexes trace sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let program, steps = ok_or_die (Core.transform_traced db sql) in
   if trace then begin
     Fmt.pr "transformation steps:@.";
@@ -195,14 +221,14 @@ let transform_cmd load_dir fixture tables buffer_pages page_bytes trace sql =
   end;
   Fmt.pr "%a@." Optimizer.Program.pp program
 
-let tree_cmd load_dir fixture tables buffer_pages page_bytes sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let tree_cmd load_dir fixture tables buffer_pages page_bytes indexes sql =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let tree = ok_or_die (Core.query_tree db sql) in
   Fmt.pr "%a" Optimizer.Query_tree.pp tree
 
-let explain_cmd load_dir fixture tables buffer_pages page_bytes analyze
+let explain_cmd load_dir fixture tables buffer_pages page_bytes indexes analyze
     strategy mode engine exec_trace sql =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let strategy = strategy_of_flag strategy in
   let mode = mode_of_flag mode in
   let engine = engine_of_flag engine in
@@ -270,12 +296,12 @@ let severity_gate = function
           diags
   | other -> die ("unknown severity threshold " ^ other ^ " (want error or warning)")
 
-let lint_cmd load_dir fixture tables buffer_pages page_bytes json severity file
+let lint_cmd load_dir fixture tables buffer_pages page_bytes indexes json severity file
     =
   let gate = severity_gate severity in
   let src = read_source file in
   let fixture = Option.value (fixture_pragma src) ~default:fixture in
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let diags = Core.lint_query db (strip_sql_comments src) in
   if json then print_endline (Analysis.Diagnostics.json_report diags)
   else if diags = [] then Fmt.pr "no diagnostics@."
@@ -328,7 +354,7 @@ let check_report_json (r : Core.check_report) =
            Option.map (fun t -> ("repro", P.Str t)) r.Core.ck_repro;
          ])
 
-let check_cmd load_dir fixture tables buffer_pages page_bytes json severity
+let check_cmd load_dir fixture tables buffer_pages page_bytes indexes json severity
     bound file =
   let gate = severity_gate severity in
   let src = read_source file in
@@ -339,7 +365,7 @@ let check_cmd load_dir fixture tables buffer_pages page_bytes json severity
       | exception Oracle.Repro.Bad_repro msg -> die msg
     else
       let fixture = Option.value (fixture_pragma src) ~default:fixture in
-      ( setup_db load_dir fixture tables buffer_pages page_bytes,
+      ( setup_db load_dir fixture tables buffer_pages page_bytes indexes,
         strip_sql_comments src )
   in
   let reports = ok_or_die (Core.check_source ~bound db sql) in
@@ -437,8 +463,8 @@ let fuzz_cmd seed count write_dir replays quiet refusals_below check =
           (Printf.sprintf "%d discrepancy(ies) found" (List.length ds))
   end
 
-let tables_cmd load_dir fixture tables buffer_pages page_bytes =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let tables_cmd load_dir fixture tables buffer_pages page_bytes indexes =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   List.iter
     (fun name ->
       let catalog = Core.catalog db in
@@ -448,22 +474,28 @@ let tables_cmd load_dir fixture tables buffer_pages page_bytes =
         Core.Schema.pp (Catalog.schema catalog name))
     (List.sort compare (Catalog.table_names (Core.catalog db)))
 
-let repl_cmd load_dir fixture tables buffer_pages page_bytes =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+let repl_cmd load_dir fixture tables buffer_pages page_bytes indexes =
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let strategy = ref Core.Auto in
   Fmt.pr
     "nestsql %s — interactive shell.@.Enter SQL, EXPLAIN [ANALYZE] SQL, \
-     LINT SQL or CHECK SQL, or: \\tables, \\tree SQL, \\transform SQL, \
-     \\explain SQL, \\compare SQL, \\strategy \
+     LINT SQL, CHECK SQL or CREATE INDEX ON t (c), or: \\tables, \\tree \
+     SQL, \\transform SQL, \\explain SQL, \\compare SQL, \\strategy \
      auto|nested|transformed|batched, \\quit@.@."
     Core.version;
   let show_tables () =
     List.iter
       (fun name ->
         let catalog = Core.catalog db in
-        Fmt.pr "%-10s %4d rows  %3d pages@." name
+        let idx =
+          match Catalog.indexed_columns catalog name with
+          | [] -> ""
+          | cols -> "  indexed: " ^ String.concat ", " (List.sort compare cols)
+        in
+        Fmt.pr "%-10s %4d rows  %3d pages%s@." name
           (Catalog.tuples catalog name)
-          (Catalog.pages catalog name))
+          (Catalog.pages catalog name)
+          idx)
       (List.sort compare (Catalog.table_names (Core.catalog db)))
   in
   let handle_result = function
@@ -547,6 +579,12 @@ let repl_cmd load_dir fixture tables buffer_pages page_bytes =
           | Error msg -> Fmt.pr "error: %s@." msg);
           loop ()
         end
+        else if Core.is_create_index line then begin
+          (match Core.execute_create_index db line with
+          | Ok msg -> Fmt.pr "%s@." msg
+          | Error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
         else if starts_with "\\compare" line then begin
           (match Core.compare_strategies db (after "\\compare" line) with
           | Ok c ->
@@ -609,9 +647,9 @@ let sockaddr_to_string = function
   | Unix.ADDR_INET (addr, port) ->
       Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
 
-let serve_cmd load_dir fixture tables buffer_pages page_bytes socket host port
+let serve_cmd load_dir fixture tables buffer_pages page_bytes indexes socket host port
     cache_capacity =
-  let db = setup_db load_dir fixture tables buffer_pages page_bytes in
+  let db = setup_db load_dir fixture tables buffer_pages page_bytes indexes in
   let sockaddr = sockaddr_of_flags socket host port in
   let server = Server.create ~cache_capacity db in
   Server.serve server sockaddr ~on_ready:(fun () ->
@@ -727,7 +765,7 @@ let client_cmd socket host port mode engine strategy raw exprs jsons =
 (* ---------------- wiring ---------------------------------------------- *)
 
 let common f =
-  Term.(f $ load_dir $ fixture $ tables $ buffer_pages $ page_bytes)
+  Term.(f $ load_dir $ fixture $ tables $ buffer_pages $ page_bytes $ indexes)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 

@@ -209,6 +209,60 @@ let rec walk st (node : Plan.node) : info =
               (Schema.columns schema)
           in
           { schema = Some cols; sorted = st.env.sorted_on name; padded = false })
+  | Plan.Index_scan { table; alias; column; lo; hi } -> (
+      match st.env.lookup table with
+      | None ->
+          emit st "NQ110" "%s: unknown table %s" label table;
+          no_info
+      | Some schema ->
+          if not (st.env.has_index table ~column) then
+            emit st "NQ115" "%s: no index on %s.%s" label table column;
+          let key_pos = ref None in
+          let cols =
+            List.mapi
+              (fun i (c : Schema.column) ->
+                if String.equal c.name column then key_pos := Some i;
+                {
+                  t_rel = alias;
+                  t_name = c.name;
+                  t_ty = c.ty;
+                  t_nullable =
+                    (* a bounded probe only returns rows where the key
+                       compares against the bound, which NULL never does;
+                       an unbounded index scan still skips NULL keys — the
+                       tree does not store them *)
+                    (if Option.is_some !key_pos && !key_pos = Some i then
+                       Non_null
+                     else if st.env.base_nullable ~rel:table c.name then
+                       Nullable
+                     else Non_null);
+                })
+              (Schema.columns schema)
+          in
+          (match !key_pos with
+          | None ->
+              emit st "NQ110" "%s: column %s not in the input schema" label
+                column
+          | Some p ->
+              List.iter
+                (function
+                  | None -> ()
+                  | Some ((v : Value.t), _) ->
+                      (match Value.type_of v with
+                      | Some ty when not (tys_compatible ty (nth cols p).t_ty)
+                        ->
+                          emit st "NQ111" "%s: bound compares %s against %s"
+                            label
+                            (Value.type_name ty)
+                            (Value.type_name (nth cols p).t_ty)
+                      | _ -> ()))
+                [ lo; hi ]);
+          (* output arrives in key order: the leaf level is sorted *)
+          {
+            schema = Some cols;
+            sorted = Option.map (fun p -> [ p ]) !key_pos;
+            padded = false;
+          })
   | Plan.Rename (alias, input) ->
       let i = walk st input in
       {

@@ -24,6 +24,59 @@ let define_table db name columns rows =
 
 let table db name = Catalog.relation db.catalog name
 
+let create_index db name ~column = Catalog.create_index db.catalog name ~column
+
+(* [CREATE INDEX [idx_name] ON table (column)] — one parser shared by the
+   CLI, the REPL and the server so the accepted DDL can't drift.  The
+   optional index name is accepted (and discarded: at most one index per
+   column, named by position).  Returns [(table, column)]. *)
+let parse_create_index text : (string * string) option =
+  let text =
+    match String.index_opt text ';' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let tokens =
+    String.split_on_char ' '
+      (String.map
+         (function '(' | ')' | '\t' | '\n' | '\r' | ',' -> ' ' | c -> c)
+         text)
+    |> List.filter (fun s -> s <> "")
+  in
+  let keyword k t = String.uppercase_ascii t = k in
+  match tokens with
+  | [ create; index; on; table; column ]
+    when keyword "CREATE" create && keyword "INDEX" index && keyword "ON" on
+    ->
+      Some (table, column)
+  | [ create; index; _name; on; table; column ]
+    when keyword "CREATE" create && keyword "INDEX" index && keyword "ON" on
+    ->
+      Some (table, column)
+  | _ -> None
+
+let is_create_index text = Option.is_some (parse_create_index text)
+
+let execute_create_index db text : (string, string) result =
+  match parse_create_index text with
+  | None ->
+      Error "syntax: CREATE INDEX [name] ON table (column)"
+  | Some (table, column) -> (
+      match Catalog.lookup db.catalog table with
+      | None -> Error (Fmt.str "unknown table %s" table)
+      | Some schema -> (
+          match Schema.find_opt schema column with
+          | None -> Error (Fmt.str "no column %s in %s" column table)
+          | exception Schema.Ambiguous _ ->
+              Error (Fmt.str "ambiguous column %s in %s" column table)
+          | Some _ ->
+              if List.mem column (Catalog.indexed_columns db.catalog table)
+              then Ok (Fmt.str "index on %s(%s) already exists" table column)
+              else begin
+                Catalog.create_index db.catalog table ~column;
+                Ok (Fmt.str "created index on %s(%s)" table column)
+              end))
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline stages                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -307,6 +360,21 @@ let prepare_query ?(rewrite_not_in = false) db q =
 let prepare ?rewrite_not_in db text =
   Result.map (prepare_query ?rewrite_not_in db) (parse db text)
 
+(* The §7 crossover: when the frames of the nested enumeration (outer
+   block and correlated subqueries) can probe B-trees, the un-transformed
+   program's estimated page traffic can undercut *any* transformed
+   program — whose temps must read every referenced relation at least
+   once, which is what [Estimate.transformed_floor] counts.  Choosing
+   nested iteration only when its estimate is strictly below that lower
+   bound can never pick the slower side.  [None] whenever no index
+   applies, so databases without indexes behave exactly as before. *)
+let indexed_nested_choice db (q : Sql.Ast.query) : (float * float) option =
+  match Optimizer.Estimate.indexed_nested_cost db.catalog q with
+  | None -> None
+  | Some cost ->
+      let floor = Optimizer.Estimate.transformed_floor db.catalog q in
+      if cost < floor then Some (cost, floor) else None
+
 let run_prepared ?(strategy = Auto) ?(check = false) ?mode ?engine ?trace
     ?on_fallback db (p : prepared) : (execution, string) result =
   let q = p.query in
@@ -387,6 +455,20 @@ let run_prepared ?(strategy = Auto) ?(check = false) ?mode ?engine ?trace
   | Transformed force -> run_transformed force
   | Batched force -> run_batched force
   | Auto -> (
+      match indexed_nested_choice db q with
+      | Some (cost, floor) ->
+          (* Indexed nested iteration beats every transformed program's
+             lower bound — run the query un-transformed (§7's regime). *)
+          (match on_fallback with
+          | Some note ->
+              note
+                (Fmt.str
+                   "auto: indexed nested iteration chosen (est. %.0f page \
+                    I/O < transformed floor %.0f)"
+                   cost floor)
+          | None -> ());
+          run_nested ()
+      | None -> (
       match run_transformed Optimizer.Planner.Auto with
       | Ok _ as ok -> ok
       | Error msg ->
@@ -417,7 +499,7 @@ let run_prepared ?(strategy = Auto) ?(check = false) ?mode ?engine ?trace
           else begin
             warn "nested iteration";
             run_nested ()
-          end)
+          end))
 
 let run ?strategy ?check ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db
     text : (execution, string) result =
@@ -429,6 +511,41 @@ let run ?strategy ?check ?rewrite_not_in ?mode ?engine ?trace ?on_fallback db
 (* Convenience: the relation only. *)
 let query db text : (Relation.t, string) result =
   Result.map (fun e -> e.result) (run db text)
+
+(* One line per index probe the nested enumeration would use, across the
+   outer block and every WHERE subquery (recursively): the evidence EXPLAIN
+   prints when Auto picks un-transformed indexed nested iteration. *)
+let probe_report db (q : Sql.Ast.query) : string list =
+  let subquery_of (p : Sql.Ast.predicate) =
+    match p with
+    | Sql.Ast.Cmp_subq (_, _, s)
+    | Sql.Ast.In_subq (_, s)
+    | Sql.Ast.Not_in_subq (_, s)
+    | Sql.Ast.Exists s
+    | Sql.Ast.Not_exists s
+    | Sql.Ast.Quant (_, _, _, s) ->
+        Some s
+    | Sql.Ast.Cmp _ | Sql.Ast.Cmp_outer _ -> None
+  in
+  let rec go ~outer_aliases (q : Sql.Ast.query) =
+    let here =
+      List.map
+        (fun (alias, column, rhs) ->
+          Fmt.str "  probe: %s.%s = %a" alias column Sql.Pp.pp_scalar rhs)
+        (Exec.Sysr_iteration.probes db.catalog ~outer_aliases q)
+    in
+    let aliases =
+      outer_aliases @ List.map Sql.Ast.from_alias q.Sql.Ast.from
+    in
+    here
+    @ List.concat_map
+        (fun p ->
+          match subquery_of p with
+          | Some sub -> go ~outer_aliases:aliases sub
+          | None -> [])
+        q.Sql.Ast.where
+  in
+  go ~outer_aliases:[] q
 
 let explain_query ?strategy ?mode ?(analyze = false) ?engine ?trace db text :
     (string, string) result =
@@ -452,10 +569,32 @@ let explain_query ?strategy ?mode ?(analyze = false) ?engine ?trace db text :
   | Some Nested_iteration ->
       Error "nested iteration has no physical plan to explain"
   | Some (Transformed _) | Some Auto | None -> (
+      let auto = match strategy with Some (Transformed _) -> false | _ -> true in
       match parse db text with
       | Error _ as e -> e
       | Ok q -> (
+          (* Under Auto, surface the §7 crossover decision: when indexed
+             nested iteration undercuts the transformed floor, execution
+             will not transform at all — EXPLAIN must say so (and with
+             what probes), since nested iteration has no plan tree. *)
+          let crossover =
+            if auto then indexed_nested_choice db q else None
+          in
+          let header =
+            match crossover with
+            | None -> ""
+            | Some (cost, floor) ->
+                Fmt.str
+                  "auto: indexed nested iteration (untransformed) — est. \
+                   %.0f page I/O < transformed floor %.0f\n%s"
+                  cost floor
+                  (String.concat "\n" (probe_report db q))
+          in
           match transform_query db q with
+          | Error _ when header <> "" ->
+              (* Not transformable, but Auto has an indexed nested path:
+                 that decision *is* the explanation. *)
+              Ok header
           | Error _ as e -> e
           | Ok program -> (
               match
@@ -478,9 +617,12 @@ let explain_query ?strategy ?mode ?(analyze = false) ?engine ?trace db text :
                       ~lookup:(Catalog.lookup db.catalog)
                       ~temps ~main:program.Optimizer.Program.main q
                   in
+                  let body =
+                    text ^ "\n" ^ Analysis.Equiv_check.certificate verdict
+                  in
                   Ok
-                    (text ^ "\n"
-                    ^ Analysis.Equiv_check.certificate verdict)
+                    (if header = "" then body
+                     else header ^ "\ntransformed alternative:\n" ^ body)
               | exception Optimizer.Planner.Planning_error msg -> Error msg)))
 
 let explain db text : (string, string) result = explain_query db text

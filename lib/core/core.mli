@@ -29,6 +29,27 @@ val define_table :
 (** @raise Catalog.Unknown_table *)
 val table : db -> string -> Relation.t
 
+(** [create_index db table ~column] builds a B-tree on [table.column]
+    (build page I/O is charged to the pager; see {!Storage.Btree.build}).
+    @raise Catalog.Unknown_table *)
+val create_index : db -> string -> column:string -> unit
+
+(** Recognize/parse the [CREATE INDEX [name] ON table (column)] DDL the
+    CLI, REPL and server all accept.  [parse_create_index] returns
+    [(table, column)]; [execute_create_index] validates against the
+    catalog and builds the index, returning a human-readable summary. *)
+val parse_create_index : string -> (string * string) option
+
+val is_create_index : string -> bool
+val execute_create_index : db -> string -> (string, string) result
+
+(** The §7 crossover decision Auto makes before transforming: [Some
+    (nested_cost, transformed_floor)] when estimated indexed nested
+    iteration strictly undercuts the page-count lower bound of any
+    transformed program ({!Optimizer.Estimate.transformed_floor});
+    [None] when no index probe applies or the floor wins. *)
+val indexed_nested_choice : db -> Sql.Ast.query -> (float * float) option
+
 (** Parse and analyze (name resolution, literal coercion, validation). *)
 val parse : db -> string -> (Sql.Ast.query, string) result
 

@@ -163,7 +163,7 @@ let nested_loop_join ?(outer_join = false)
    into joining before restricting. *)
 let index_nested_loop_join ?(outer_join = false)
     ?(residual : (Row.t -> Row.t -> Truth.t) option) ~left_key
-    ~(index : Storage.Index.t) ~(right_schema : Schema.t) (left : t) : t =
+    ~(index : Storage.Btree.t) ~(right_schema : Schema.t) (left : t) : t =
   let pad = Row.nulls (Schema.arity right_schema) in
   let schema = Schema.append left.schema right_schema in
   let residual_ok l r =
@@ -183,7 +183,7 @@ let index_nested_loop_join ?(outer_join = false)
               List.filter_map
                 (fun r ->
                   if residual_ok l r then Some (Row.append l r) else None)
-                (Storage.Index.lookup_eq index (Row.get l left_key))
+                (Storage.Btree.lookup_eq index (Row.get l left_key))
             in
             match matches with
             | [] -> if outer_join then Some (Row.append l pad) else next ()

@@ -61,7 +61,7 @@ val index_nested_loop_join :
   ?outer_join:bool ->
   ?residual:(Relalg.Row.t -> Relalg.Row.t -> Relalg.Truth.t) ->
   left_key:int ->
-  index:Storage.Index.t ->
+  index:Storage.Btree.t ->
   right_schema:Relalg.Schema.t ->
   t ->
   t

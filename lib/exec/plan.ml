@@ -20,8 +20,18 @@ type join_kind = Inner | Left_outer
 
 type agg_item = { fn : agg; out_name : string }
 
+(* [(value, inclusive)] endpoint of an index range probe. *)
+type bound = Value.t * bool
+
 type node =
   | Scan of string
+  | Index_scan of {
+      table : string; (* base table carrying the B-tree *)
+      alias : string; (* output provenance; equals [table] when unaliased *)
+      column : string; (* indexed column, resolved on the table's schema *)
+      lo : bound option; (* missing bound = unbounded on that side *)
+      hi : bound option; (* lo = hi = Some (v, true) is an equality probe *)
+    }
   | Rename of string * node
       (* re-tag every output column's provenance: an aliased scan *)
   | Filter of predicate list * node (* Cmp with Col/Lit operands only *)
@@ -65,6 +75,8 @@ let agg_output_type schema (a : agg) : Value.ty =
 let rec output_schema (catalog : Catalog.t) (node : node) : Schema.t =
   match node with
   | Scan name -> Schema.rename_rel (Catalog.schema catalog name) name
+  | Index_scan { table; alias; _ } ->
+      Schema.rename_rel (Catalog.schema catalog table) alias
   | Rename (alias, input) -> Schema.rename_rel (output_schema catalog input) alias
   | Filter (_, input) -> output_schema catalog input
   | Project (cols, input) ->
@@ -158,6 +170,24 @@ let equi_join_parts ~method_name (lschema : Schema.t) (rschema : Schema.t)
   in
   (left_key, right_key, null_safe, residual_opt, joined_schema)
 
+(* An IndexScan streams a B-tree probe: O(height) page reads down to the
+   start leaf, then a leaf walk with data pages fetched through the pool —
+   output arrives in key order (the leaf level is sorted). *)
+let index_scan catalog ~table ~alias ~column ~lo ~hi : Iterator.t =
+  let heap_schema = Catalog.schema catalog table in
+  let key_col =
+    match Schema.find_opt heap_schema column with
+    | Some i -> i
+    | None -> errf "index scan: no column %s in %s" column table
+  in
+  let index =
+    match Catalog.index_on catalog table ~key_col with
+    | Some idx -> idx
+    | None -> errf "no index on %s.%s for the index scan" table column
+  in
+  let next = Storage.Btree.range index ?lo ?hi () in
+  { Iterator.schema = Schema.rename_rel heap_schema alias; next }
+
 (* Right side of an index join: a base-table scan with an index on the
    single equality condition's column. *)
 let index_nl_join catalog ~outer_join ~cond ~residual ~right
@@ -172,6 +202,13 @@ let index_nl_join catalog ~outer_join ~cond ~residual ~right
   let lc, rc =
     match cond with
     | [ (lc, Eq, rc) ] -> (lc, rc)
+    | [ (_, Eq_null, _) ] ->
+        (* NEST-JA2's null-safe join-back must not be indexed: the B-tree
+           stores no NULL keys, so a [<=>] probe would silently drop the
+           NULL group instead of matching it. *)
+        errf
+          "index join cannot implement a null-safe (<=>) condition: NULL \
+           keys are not in the index"
     | _ -> errf "index join requires exactly one equality condition"
   in
   let key_col = find_col rschema rc in
@@ -276,6 +313,8 @@ and execute_node ?observe (catalog : Catalog.t) (node : node) : Iterator.t =
       (* Present stored columns under the table's name so plan-level
          references [name.col] resolve. *)
       { it with schema = Schema.rename_rel it.schema name }
+  | Index_scan { table; alias; column; lo; hi } ->
+      index_scan catalog ~table ~alias ~column ~lo ~hi
   | Rename (alias, input) ->
       let it = execute ?observe catalog input in
       { it with schema = Schema.rename_rel it.schema alias }
@@ -348,6 +387,8 @@ and execute_vec_node ?observe (catalog : Catalog.t) (node : node) : Vec.t =
   | Scan name ->
       let v = Vec.scan (Catalog.heap catalog name) in
       Vec.with_schema v (Schema.rename_rel v.Vec.schema name)
+  | Index_scan { table; alias; column; lo; hi } ->
+      Vec.of_tuple (index_scan catalog ~table ~alias ~column ~lo ~hi)
   | Rename (alias, input) ->
       let v = execute_vec ?observe catalog input in
       Vec.with_schema v (Schema.rename_rel v.Vec.schema alias)
@@ -451,9 +492,25 @@ let join_kind_name = function Inner -> "inner" | Left_outer -> "left-outer"
 
 (* One-line operator description, without children — the unit EXPLAIN and
    the [Explain] annotators build their renderings from. *)
+let pp_bounds ppf (column, lo, hi) =
+  match (lo, hi) with
+  | Some (v, true), Some (v', true) when Value.compare v v' = 0 ->
+      Fmt.pf ppf "%s = %a" column Value.pp v
+  | lo, hi ->
+      let side op ppf = function
+        | None -> ()
+        | Some (v, incl) ->
+            Fmt.pf ppf " %s%s %a" op (if incl then "=" else "") Value.pp v
+      in
+      Fmt.pf ppf "%s%a%a" column (side ">") lo (side "<") hi
+
 let label node =
   match node with
   | Scan name -> "Scan " ^ name
+  | Index_scan { table; alias; column; lo; hi } ->
+      Fmt.str "IndexScan %s%s on %a" table
+        (if alias = table then "" else " as " ^ alias)
+        pp_bounds (column, lo, hi)
   | Rename (alias, _) -> "Rename as " ^ alias
   | Filter (preds, _) ->
       Fmt.str "Filter %a"
@@ -494,7 +551,7 @@ let label node =
         aggs
 
 let children = function
-  | Scan _ -> []
+  | Scan _ | Index_scan _ -> []
   | Rename (_, input)
   | Filter (_, input)
   | Project (_, input)

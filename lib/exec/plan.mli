@@ -9,8 +9,20 @@ type join_kind = Inner | Left_outer
 
 type agg_item = { fn : Sql.Ast.agg; out_name : string }
 
+(** [(value, inclusive)] endpoint of an index range probe. *)
+type bound = Relalg.Value.t * bool
+
 type node =
   | Scan of string
+  | Index_scan of {
+      table : string;  (** base table carrying the B-tree *)
+      alias : string;  (** output provenance; equals [table] when unaliased *)
+      column : string;  (** indexed column on the table's schema *)
+      lo : bound option;  (** missing bound = unbounded on that side *)
+      hi : bound option;  (** lo = hi = Some (v, true) is an equality probe *)
+    }
+      (** stream a B-tree probe in key order: O(height) descent, leaf
+          walk, data pages through the pool *)
   | Rename of string * node
       (** re-tag output provenance: an aliased scan *)
   | Filter of Sql.Ast.predicate list * node

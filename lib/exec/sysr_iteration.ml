@@ -25,18 +25,123 @@ open Sql.Ast
 (* Uncorrelated subquery results, materialized ("the list of values X"). *)
 type memo = (query * Heap_file.t) list ref
 
+(* ------------------------------------------------------------------ *)
+(* Index probes for the enumeration                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame can swap its full rescan for a B-tree probe when the WHERE
+   conjunction contains [frame.col = rhs] with [col] indexed and [rhs]
+   fully bound before the frame binds — a literal, or a column of an
+   enclosing block / earlier frame.  This is exactly the access path the
+   paper's §7 nested-iteration costs assume ("index on the join column"):
+   a correlated inner block then probes once per outer tuple instead of
+   rescanning its stored relation.
+
+   Rows the probe skips are those where the equality is False or Unknown,
+   which the conjunction at the innermost level would reject anyway — and
+   a NULL rhs probes nothing, matching the predicate's Unknown on every
+   row.  Shadowing is the one hazard (the predicate is re-evaluated after
+   all frames bind), so probes are disabled entirely when frame aliases
+   collide, and an rhs alias must not be rebound by a later frame. *)
+
+type probe = {
+  p_column : string; (* indexed column on the frame's relation *)
+  p_rhs : scalar; (* bound before the frame binds *)
+}
+
+let frame_probes catalog ~outer_aliases (q : query) :
+    (string * probe) list =
+  let frame_aliases = List.map from_alias q.from in
+  let distinct_aliases =
+    List.length (List.sort_uniq String.compare frame_aliases)
+    = List.length frame_aliases
+  in
+  if not distinct_aliases then []
+  else
+    let rec go earlier = function
+      | [] -> []
+      | (f : from_item) :: rest ->
+          let alias = from_alias f in
+          let bound (c : col_ref) =
+            match c.table with
+            | Some t ->
+                List.mem t earlier
+                || (List.mem t outer_aliases
+                   && not (List.mem t frame_aliases))
+            | None -> false
+          in
+          let consider (c : col_ref) rhs =
+            let rhs_ok =
+              match rhs with Lit _ -> true | Col c' -> bound c'
+            in
+            if c.table <> Some alias || not rhs_ok then None
+            else
+              match Catalog.lookup catalog f.rel with
+              | None -> None
+              | Some schema -> (
+                  match Schema.find_opt schema c.column with
+                  | Some key_col
+                    when Catalog.index_on catalog f.rel ~key_col <> None ->
+                      Some { p_column = c.column; p_rhs = rhs }
+                  | _ | (exception Schema.Ambiguous _) -> None)
+          in
+          let probe =
+            List.find_map
+              (fun p ->
+                match p with
+                | Cmp (a, Eq, b) -> (
+                    match (a, b) with
+                    | Col c, rhs -> (
+                        match consider c rhs with
+                        | Some pr -> Some pr
+                        | None -> (
+                            match rhs with
+                            | Col c' -> consider c' a
+                            | Lit _ -> None))
+                    | rhs, Col c -> consider c rhs
+                    | Lit _, Lit _ -> None)
+                | _ -> None)
+              q.where
+          in
+          (match probe with Some pr -> [ (alias, pr) ] | None -> [])
+          @ go (alias :: earlier) rest
+    in
+    go [] q.from
+
+let probes catalog ~outer_aliases q =
+  List.map
+    (fun (alias, pr) -> (alias, pr.p_column, pr.p_rhs))
+    (frame_probes catalog ~outer_aliases q)
+
 let rec eval_query (catalog : Catalog.t) (memo : memo) (env : Env.t)
     (q : query) : Relation.t =
+  let outer_aliases = List.map (fun (b : Env.binding) -> b.Env.alias) env in
+  let probe_of = frame_probes catalog ~outer_aliases q in
   let frames =
     List.map
       (fun (f : from_item) ->
         let alias = from_alias f in
         let heap = Catalog.heap catalog f.rel in
-        (alias, Schema.rename_rel (Heap_file.schema heap) alias, heap))
+        let index =
+          match List.assoc_opt alias probe_of with
+          | None -> None
+          | Some pr -> (
+              match
+                Schema.find_opt (Heap_file.schema heap) pr.p_column
+              with
+              | None | (exception Schema.Ambiguous _) -> None
+              | Some key_col ->
+                  Option.map
+                    (fun idx -> (idx, pr.p_rhs))
+                    (Catalog.index_on catalog f.rel ~key_col))
+        in
+        (alias, Schema.rename_rel (Heap_file.schema heap) alias, heap, index))
       q.from
   in
   (* Nested scans over the stored FROM relations; each level re-scans its
-     heap once per assignment of the levels above (page reads counted). *)
+     heap once per assignment of the levels above (page reads counted) —
+     unless an index probe applies, in which case the level fetches only
+     the matching rows through the pool. *)
   let qualifying = ref [] in
   let rec enumerate env' = function
     | [] -> (
@@ -45,16 +150,23 @@ let rec eval_query (catalog : Catalog.t) (memo : memo) (env : Env.t)
         with
         | Truth.True -> qualifying := env' :: !qualifying
         | Truth.False | Truth.Unknown -> ())
-    | (alias, schema, heap) :: rest ->
-        let next = Heap_file.scan heap in
-        let rec loop () =
-          match next () with
-          | Some row ->
-              enumerate (Env.bind env' ~alias ~schema ~row) rest;
-              loop ()
-          | None -> ()
-        in
-        loop ()
+    | (alias, schema, heap, probe) :: rest -> (
+        match probe with
+        | Some (idx, rhs) ->
+            let v = Eval.scalar env' rhs in
+            List.iter
+              (fun row -> enumerate (Env.bind env' ~alias ~schema ~row) rest)
+              (Storage.Btree.lookup_eq idx v)
+        | None ->
+            let next = Heap_file.scan heap in
+            let rec loop () =
+              match next () with
+              | Some row ->
+                  enumerate (Env.bind env' ~alias ~schema ~row) rest;
+                  loop ()
+              | None -> ()
+            in
+            loop ())
   in
   enumerate env frames;
   let qualifying = List.rev !qualifying in

@@ -5,7 +5,26 @@
     assignment (the cost the paper attacks); uncorrelated subqueries are
     evaluated once, their value list is {e materialized to pages}, and each
     membership probe re-reads it through the pool — Kim's type-N cost
-    regime.  Results are identical to {!Nested_iter} (property-tested). *)
+    regime.  Results are identical to {!Nested_iter} (property-tested).
+
+    When a FROM relation carries a B-tree on a column the WHERE
+    conjunction equates with an already-bound value (an enclosing block's
+    column, an earlier frame's column, or a literal), the enumeration
+    probes the index instead of rescanning the heap — the §7 regime where
+    un-transformed nested iteration becomes competitive.  Rows the probe
+    skips are exactly those the conjunction would reject, so results are
+    unchanged; only the page traffic is. *)
 
 (** @raise Nested_iter.Runtime_error as the in-memory evaluator does. *)
 val run : Storage.Catalog.t -> Sql.Ast.query -> Relalg.Relation.t
+
+(** The index probes the enumeration of [q] would use, as
+    [(frame alias, indexed column, bound scalar)] — one per frame at
+    most.  [outer_aliases] are the enclosing blocks' FROM aliases ([[]]
+    at top level).  Cost models and EXPLAIN use this to price and report
+    indexed nested iteration without running it. *)
+val probes :
+  Storage.Catalog.t ->
+  outer_aliases:string list ->
+  Sql.Ast.query ->
+  (string * string * Sql.Ast.scalar) list

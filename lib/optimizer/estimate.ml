@@ -78,6 +78,50 @@ let analyze catalog (root : Exec.Plan.node) : (Exec.Plan.node * t) list =
             pages;
             cost = pages;
           }
+      | Exec.Plan.Index_scan { table; column; lo; hi; _ } ->
+          let tuples = float_of_int (Catalog.tuples catalog table) in
+          let key_col =
+            Schema.find_opt (Catalog.schema catalog table) column
+          in
+          let col_stats =
+            Option.map (fun i -> Stats.column (Catalog.stats catalog table) i)
+              key_col
+          in
+          let bound_sel op = function
+            | None -> 1.
+            | Some (v, _) -> (
+                match col_stats with
+                | Some cs -> Stats.literal_selectivity cs op v
+                | None -> Stats.default_range_selectivity)
+          in
+          let sel =
+            match (lo, hi) with
+            | Some (v, true), Some (v', true)
+              when Relalg.Value.compare v v' = 0 ->
+                bound_sel Eq lo
+            | lo, hi ->
+                Float.max Stats.default_eq_selectivity
+                  (bound_sel Ge lo +. bound_sel Le hi -. 1.)
+          in
+          let rows = Float.max 1. (tuples *. sel) in
+          let descent, leaf_pages =
+            match
+              Option.bind key_col (fun key_col ->
+                  Catalog.index_on catalog table ~key_col)
+            with
+            | Some idx ->
+                ( float_of_int (Storage.Btree.height idx),
+                  float_of_int (Storage.Btree.leaf_page_count idx) )
+            | None -> (1., Float.max 1. (tuples /. 100.))
+          in
+          (* one descent, the qualifying slice of the leaf level, and a
+             data-page fetch per match (the probe-side pessimism of §4:
+             matches rarely share pages) *)
+          {
+            rows;
+            pages = derived_pages node rows;
+            cost = descent +. ceil (sel *. leaf_pages) +. rows;
+          }
       | Exec.Plan.Rename (_, input) -> go input
       | Exec.Plan.Filter (preds, input) ->
           let i = go input in
@@ -154,11 +198,9 @@ let analyze catalog (root : Exec.Plan.node) : (Exec.Plan.node * t) list =
                                   /. float_of_int cs.Stats.distinct
                                 else 1.
                               in
-                              ceil
-                                (log
-                                   (float_of_int
-                                      (max 2 (Storage.Index.pages idx)))
-                                /. log 2.)
+                              (* root-to-leaf descent plus a data-page
+                                 fetch per match *)
+                              float_of_int (Storage.Btree.height idx)
                               +. matches
                           | None -> 1.)
                       | None | (exception Schema.Ambiguous _) -> 1.)
@@ -291,3 +333,119 @@ let prefer_batched catalog q =
   match batched_fallback catalog q with
   | None -> false
   | Some fb -> fb.fb_batched_evals < fb.fb_nested_evals
+
+(* ------------------------------------------------------------------ *)
+(* Indexed nested iteration vs transformation (the §7 crossover)       *)
+(* ------------------------------------------------------------------ *)
+
+let subquery_of = function
+  | Cmp_subq (_, _, sub)
+  | In_subq (_, sub)
+  | Not_in_subq (_, sub)
+  | Exists sub
+  | Not_exists sub
+  | Quant (_, _, _, sub) ->
+      Some sub
+  | Cmp _ | Cmp_outer _ -> None
+
+let rec referenced_rels (q : query) : string list =
+  List.map (fun (f : from_item) -> f.rel) q.from
+  @ List.concat_map
+      (fun p ->
+        match subquery_of p with Some sub -> referenced_rels sub | None -> [])
+      q.where
+
+(* Every transformed program reads each referenced base relation in full
+   at least once — the temp tables of NEST-JA2/NEST-G are built from
+   complete scans — so the summed page counts are a lower bound on any
+   transformed plan's I/O.  Comparing indexed nested iteration against
+   this floor (rather than against one concrete plan) means the nested
+   path is only ever taken when it beats *every* transformation, so the
+   ladder cannot regress. *)
+let transformed_floor catalog (q : query) : float =
+  List.fold_left
+    (fun acc rel ->
+      acc
+      +.
+      match Catalog.pages catalog rel with
+      | p -> float_of_int p
+      | exception Catalog.Unknown_table _ -> 0.)
+    0.
+    (List.sort_uniq String.compare (referenced_rels q))
+
+let has_subquery (q : query) =
+  List.exists (fun p -> Option.is_some (subquery_of p)) q.where
+
+(* Estimated page I/O of evaluating [q] by nested iteration with the
+   current index inventory ([Sysr_iteration]'s probes): each frame costs a
+   full rescan per enumeration unless probed (descent + a data-page fetch
+   per match), each correlated subquery re-runs per innermost assignment,
+   each uncorrelated one runs once and is probed from its materialized
+   list.  [None] when no probe applies anywhere or [q] has no subquery —
+   then the comparison with transformation is not this module's call. *)
+let indexed_nested_cost catalog (q : query) : float option =
+  let rec cost ~outer_aliases ~evals (q : query) : float * bool =
+    let probes = Exec.Sysr_iteration.probes catalog ~outer_aliases q in
+    let frame_cost, fanout, any_probe =
+      List.fold_left
+        (fun (cost_acc, rows_so_far, any) (f : from_item) ->
+          let alias = from_alias f in
+          let tuples = float_of_int (max 1 (Catalog.tuples catalog f.rel)) in
+          let pages = float_of_int (max 1 (Catalog.pages catalog f.rel)) in
+          match List.find_opt (fun (a, _, _) -> String.equal a alias) probes with
+          | Some (_, column, _) ->
+              let matches, descent =
+                match Catalog.lookup catalog f.rel with
+                | None -> (1., 1.)
+                | Some schema -> (
+                    match Schema.find_opt schema column with
+                    | None | (exception Schema.Ambiguous _) -> (1., 1.)
+                    | Some key_col ->
+                        let cs =
+                          Stats.column (Catalog.stats catalog f.rel) key_col
+                        in
+                        let m =
+                          if cs.Stats.distinct > 0 then
+                            tuples /. float_of_int cs.Stats.distinct
+                          else 1.
+                        in
+                        let h =
+                          match Catalog.index_on catalog f.rel ~key_col with
+                          | Some idx ->
+                              float_of_int (Storage.Btree.height idx)
+                          | None -> 1.
+                        in
+                        (m, h))
+              in
+              ( cost_acc +. (evals *. rows_so_far *. (descent +. matches)),
+                rows_so_far *. Float.max 1. matches,
+                true )
+          | None ->
+              ( cost_acc +. (evals *. rows_so_far *. pages),
+                rows_so_far *. tuples,
+                any ))
+        (0., 1., false) q.from
+    in
+    let aliases = outer_aliases @ List.map from_alias q.from in
+    List.fold_left
+      (fun (c, anyp) p ->
+        match subquery_of p with
+        | None -> (c, anyp)
+        | Some sub ->
+            if is_correlated sub then
+              let sc, sp =
+                cost ~outer_aliases:aliases ~evals:(evals *. fanout) sub
+              in
+              (c +. sc, anyp || sp)
+            else
+              (* one evaluation, then each innermost assignment re-reads
+                 the materialized value list (approximated at one page) *)
+              let sc, sp = cost ~outer_aliases:[] ~evals:1. sub in
+              (c +. sc +. (evals *. fanout), anyp || sp))
+      (frame_cost, any_probe)
+      q.where
+  in
+  if not (has_subquery q) then None
+  else
+    let c, any_probe = cost ~outer_aliases:[] ~evals:1. q in
+    if any_probe then Some c else None

@@ -41,3 +41,20 @@ val batched_fallback : Storage.Catalog.t -> Sql.Ast.query -> fallback option
 (** The Auto decision: true iff batching is estimated to save inner
     evaluations over nested iteration. *)
 val prefer_batched : Storage.Catalog.t -> Sql.Ast.query -> bool
+
+(** A lower bound on any transformed program's page I/O for [q]: the
+    summed page counts of every base relation it references (temp tables
+    are built from complete scans, so each is read in full at least
+    once).  Unknown relations contribute nothing. *)
+val transformed_floor : Storage.Catalog.t -> Sql.Ast.query -> float
+
+(** Estimated page I/O of evaluating [q] by nested iteration with the
+    current index inventory ({!Exec.Sysr_iteration}'s probes): frames pay
+    a full rescan per enumeration unless probed (descent plus a data-page
+    fetch per match); correlated subqueries re-run per innermost
+    assignment.  [None] when [q] has no WHERE subquery or no probe
+    applies anywhere — the crossover question then does not arise.
+    Comparing the result against {!transformed_floor} is {!Core}'s Auto
+    decision for untransformed indexed iteration. *)
+val indexed_nested_cost :
+  Storage.Catalog.t -> Sql.Ast.query -> float option

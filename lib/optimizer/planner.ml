@@ -101,7 +101,40 @@ let sort_cost ~b p = Cost.sort_cost ~rounding:Ceil ~b p
 (* Building one join step                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Make a base state for FROM item [f], pushing its single-table filters. *)
+(* A pushed-down filter a B-tree can answer: a literal comparison on an
+   indexed column of [rel].  Returns the probe bounds.  [Ne] needs both
+   complements and [Eq_null] would have to match the NULL keys the tree
+   does not store, so neither is indexable; a strict comparison against a
+   NULL literal probes with a NULL bound, which correctly matches
+   nothing. *)
+let indexable_filter catalog ~rel schema (p : predicate) =
+  let consider (c : col_ref) op v =
+    match Schema.find_opt schema ?rel:c.table c.column with
+    | None | (exception Schema.Ambiguous _) -> None
+    | Some key_col -> (
+        match Catalog.index_on catalog rel ~key_col with
+        | None -> None
+        | Some idx ->
+            let bounds =
+              match op with
+              | Eq -> Some (Some (v, true), Some (v, true))
+              | Lt -> Some (None, Some (v, false))
+              | Le -> Some (None, Some (v, true))
+              | Gt -> Some (Some (v, false), None)
+              | Ge -> Some (Some (v, true), None)
+              | Ne | Eq_null -> None
+            in
+            Option.map (fun (lo, hi) -> (c.column, idx, lo, hi)) bounds)
+  in
+  match p with
+  | Cmp (Col c, op, Lit v) -> consider c op v
+  | Cmp (Lit v, op, Col c) -> consider c (flip_cmp op) v
+  | _ -> None
+
+(* Make a base state for FROM item [f], pushing its single-table filters.
+   When one of them is a literal comparison on an indexed column and the
+   probe is estimated cheaper than the full scan, the access path becomes
+   an [Index_scan] (the remaining filters stay above it). *)
 let base_state catalog (f : from_item) (filters : predicate list) : state =
   let alias = from_alias f in
   let scan =
@@ -110,27 +143,83 @@ let base_state catalog (f : from_item) (filters : predicate list) : state =
   in
   let schema = Exec.Plan.output_schema catalog scan in
   let rows = float_of_int (Catalog.tuples catalog f.rel) in
-  let node, rows =
-    match filters with
-    | [] -> (scan, rows)
-    | fs ->
-        let selectivity =
-          List.fold_left
-            (fun acc p ->
-              acc *. filter_selectivity_of catalog ~rel:f.rel schema p)
-            1. fs
+  let pages = float_of_int (Catalog.pages catalog f.rel) in
+  let indexed =
+    List.find_map
+      (fun p ->
+        match indexable_filter catalog ~rel:f.rel schema p with
+        | Some probe -> Some (p, probe)
+        | None -> None)
+      filters
+  in
+  let node, rows, est_pages, index_order =
+    match indexed with
+    | Some (p, (column, idx, lo, hi)) ->
+        let sel = filter_selectivity_of catalog ~rel:f.rel schema p in
+        let matched = Float.max 1. (rows *. sel) in
+        let probe_cost =
+          (* descent, the qualifying slice of the leaf level, one data-page
+             fetch per match (§4 pessimism: matches rarely share pages) *)
+          float_of_int (Storage.Btree.height idx)
+          +. ceil (sel *. float_of_int (Storage.Btree.leaf_page_count idx))
+          +. matched
         in
-        (Exec.Plan.Filter (fs, scan), Float.max 1. (rows *. selectivity))
+        if probe_cost < pages then begin
+          let probe =
+            Exec.Plan.Index_scan { table = f.rel; alias; column; lo; hi }
+          in
+          let rest = List.filter (fun p' -> p' != p) filters in
+          let node =
+            if rest = [] then probe else Exec.Plan.Filter (rest, probe)
+          in
+          let sel_rest =
+            List.fold_left
+              (fun acc p ->
+                acc *. filter_selectivity_of catalog ~rel:f.rel schema p)
+              1. rest
+          in
+          ( node,
+            Float.max 1. (matched *. sel_rest),
+            est_pages_of_rows catalog ~rows:matched schema,
+            Some [ { table = Some alias; column } ] )
+        end
+        else
+          ( Exec.Plan.Filter (filters, scan),
+            Float.max 1.
+              (rows
+              *. List.fold_left
+                   (fun acc p ->
+                     acc *. filter_selectivity_of catalog ~rel:f.rel schema p)
+                   1. filters),
+            pages,
+            None )
+    | None -> (
+        match filters with
+        | [] -> (scan, rows, pages, None)
+        | fs ->
+            let selectivity =
+              List.fold_left
+                (fun acc p ->
+                  acc *. filter_selectivity_of catalog ~rel:f.rel schema p)
+                1. fs
+            in
+            ( Exec.Plan.Filter (fs, scan),
+              Float.max 1. (rows *. selectivity),
+              pages,
+              None ))
   in
   let sorted =
-    Option.map
-      (fun positions ->
-        List.map
-          (fun i ->
-            let c = Schema.column schema i in
-            { table = Some c.rel; column = c.name })
-          positions)
-      (Catalog.sorted_on catalog f.rel)
+    match index_order with
+    | Some _ -> index_order (* B-tree leaves stream in key order *)
+    | None ->
+        Option.map
+          (fun positions ->
+            List.map
+              (fun i ->
+                let c = Schema.column schema i in
+                { table = Some c.rel; column = c.name })
+              positions)
+          (Catalog.sorted_on catalog f.rel)
   in
   {
     node;
@@ -138,7 +227,7 @@ let base_state catalog (f : from_item) (filters : predicate list) : state =
     schema;
     sorted;
     est_rows = rows;
-    est_pages = float_of_int (Catalog.pages catalog f.rel);
+    est_pages;
   }
 
 (* Split the conditions that connect [left] with table [alias]. *)
@@ -237,9 +326,9 @@ let join_step catalog ~(force : join_choice) ~(mode : mode) (left : state)
                       else 1.
                     in
                     let probe_cost =
-                      ceil
-                        (log (float_of_int (max 2 (Storage.Index.pages idx)))
-                        /. log 2.)
+                      (* root-to-leaf descent plus a data-page fetch per
+                         match *)
+                      float_of_int (Storage.Btree.height idx)
                       +. matches_per_probe
                     in
                     Some

@@ -43,6 +43,13 @@ type candidate =
       mode : Planner.mode;
       engine : Exec.Plan.engine;
     }
+  (* The index axis: same strategies with a B-tree on every column of
+     every table, so index-only code paths (Sysr probe enumeration,
+     IndexScan / index nested-loop plans, Auto's §7 crossover) face the
+     same random workload as the unindexed cells — and must agree. *)
+  | Indexed_nested
+  | Indexed_rewrite of { mode : Planner.mode }
+  | Indexed_auto of { mode : Planner.mode }
 
 let mode_label = function
   | Planner.Paper1987 -> "paper"
@@ -71,15 +78,22 @@ let candidate_label = function
       Printf.sprintf "auto%s/%s%s"
         (if rewrite_not_in then "+not-in" else "")
         (mode_label mode) (engine_label engine)
+  | Indexed_nested -> "indexed-nested"
+  | Indexed_rewrite { mode } ->
+      Printf.sprintf "indexed-rewrite/%s" (mode_label mode)
+  | Indexed_auto { mode } -> Printf.sprintf "indexed-auto/%s" (mode_label mode)
 
 (* The full grid: 1 paged-nested + 24 forced rewrites (2 rewrite flags x 2
    modes x 3 forced joins x 2 engines) + 16 batched (2 modes x 4 join
    choices x 2 engines) + 8 end-to-end Auto (2 rewrite flags x 2 modes x 2
-   engines) = 49 executions per query.  The engine axis cross-checks the
-   vectorized operators against the tuple engine on every plan shape the
-   other axes can force; the Auto cells subsume the old force=auto rewrite
-   cells (same execution when the transformation applies) and additionally
-   exercise the batched/nested fallback ladder when it refuses. *)
+   engines) + 5 indexed (nested, rewrite x 2 modes, auto x 2 modes) = 54
+   executions per query.  The engine axis cross-checks the vectorized
+   operators against the tuple engine on every plan shape the other axes
+   can force; the Auto cells subsume the old force=auto rewrite cells
+   (same execution when the transformation applies) and additionally
+   exercise the batched/nested fallback ladder when it refuses; the index
+   axis runs with a B-tree on every column, covering probe-based nested
+   enumeration, IndexScan/index-join plans, and the §7 crossover. *)
 let all_candidates =
   (Paged_nested
   :: List.concat_map
@@ -114,6 +128,10 @@ let all_candidates =
               [ Exec.Plan.Tuple; Exec.Plan.Vectorized ])
           [ Planner.Paper1987; Planner.Hybrid ])
       [ false; true ]
+  @ (Indexed_nested
+    :: List.concat_map
+         (fun mode -> [ Indexed_rewrite { mode }; Indexed_auto { mode } ])
+         [ Planner.Paper1987; Planner.Hybrid ])
 
 type verdict =
   | Agree
@@ -205,23 +223,48 @@ let run_reference (case : Repro.case) : (Relation.t, string) Stdlib.result =
    leak between grid cells.  [check] additionally type-checks every
    lowered physical plan (Analysis.Plan_check via Core) before it runs —
    a violation surfaces as a Failed cell, never a silent wrong answer. *)
+(* For the index-axis cells: a B-tree on every column of every table (the
+   most adversarial inventory — every probe/access-path opportunity is
+   taken; duplicate column names within a table cannot occur in generated
+   cases, but be defensive anyway). *)
+let index_everything db =
+  let catalog = Core.catalog db in
+  List.iter
+    (fun name ->
+      match Storage.Catalog.lookup catalog name with
+      | None -> ()
+      | Some schema ->
+          List.iter
+            (fun (c : Relalg.Schema.column) ->
+              try Core.create_index db name ~column:c.Relalg.Schema.name
+              with _ -> ())
+            (Relalg.Schema.columns schema))
+    (Storage.Catalog.table_names catalog)
+
 let run_candidate ?(check = false) (case : Repro.case) candidate :
     (Relation.t, string) Stdlib.result =
   let db = Repro.build_db case in
+  (match candidate with
+  | Indexed_nested | Indexed_rewrite _ | Indexed_auto _ ->
+      index_everything db
+  | Paged_nested | Rewrite _ | Batched _ | Auto_path _ -> ());
   let strategy =
     match candidate with
-    | Paged_nested -> Core.Nested_iteration
+    | Paged_nested | Indexed_nested -> Core.Nested_iteration
     | Rewrite { force; _ } -> Core.Transformed force
+    | Indexed_rewrite _ -> Core.Transformed Planner.Auto
     | Batched { force; _ } -> Core.Batched force
-    | Auto_path _ -> Core.Auto
+    | Auto_path _ | Indexed_auto _ -> Core.Auto
   in
   let rewrite_not_in, mode, engine =
     match candidate with
-    | Paged_nested -> (false, None, None)
+    | Paged_nested | Indexed_nested -> (false, None, None)
     | Rewrite { rewrite_not_in; mode; engine; _ }
     | Auto_path { rewrite_not_in; mode; engine } ->
         (rewrite_not_in, Some mode, Some engine)
     | Batched { mode; engine; _ } -> (false, Some mode, Some engine)
+    | Indexed_rewrite { mode } | Indexed_auto { mode } ->
+        (false, Some mode, None)
   in
   match Core.run ~strategy ~check ~rewrite_not_in ?mode ?engine db case.sql with
   | Ok e -> Ok e.Core.result

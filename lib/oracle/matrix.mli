@@ -29,14 +29,23 @@ type candidate =
       mode : Optimizer.Planner.mode;
       engine : Exec.Plan.engine;
     }
+  | Indexed_nested
+      (** paged nested iteration with a B-tree on every column — the
+          probe-based enumeration must agree with full rescans *)
+  | Indexed_rewrite of { mode : Optimizer.Planner.mode }
+      (** planner free to choose IndexScan / index nested-loop joins *)
+  | Indexed_auto of { mode : Optimizer.Planner.mode }
+      (** the end-to-end ladder including the §7 crossover decision *)
 
 val candidate_label : candidate -> string
 
-(** The full grid, 49 cells: paged nested iteration + 24 forced-join
+(** The full grid, 54 cells: paged nested iteration + 24 forced-join
     rewrite cells + 16 batched cells + 8 end-to-end Auto cells (vectorized
-    cells carry a ["/vec"] label suffix).  The Auto cells subsume the old
-    force=auto rewrite cells — same execution when the transformation
-    applies — and exercise the fallback ladder when it refuses. *)
+    cells carry a ["/vec"] label suffix) + 5 index-axis cells that rerun
+    nested/rewrite/auto with a B-tree on every column.  The Auto cells
+    subsume the old force=auto rewrite cells — same execution when the
+    transformation applies — and exercise the fallback ladder when it
+    refuses. *)
 val all_candidates : candidate list
 
 type verdict =

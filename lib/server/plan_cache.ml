@@ -14,6 +14,10 @@ type key = {
   mode : Optimizer.Planner.mode;
   engine : Exec.Plan.engine;
   rewrite_not_in : bool;
+  index_epoch : int;
+      (* the catalog's index inventory version at preparation: a plan
+         chosen with (or without) an index must never be reused after
+         CREATE INDEX / load changes the inventory *)
 }
 
 type counters = {

@@ -24,6 +24,10 @@ type key = {
   mode : Optimizer.Planner.mode;
   engine : Exec.Plan.engine;
   rewrite_not_in : bool;
+  index_epoch : int;
+      (** {!Storage.Catalog.index_epoch} at preparation time: a plan
+          chosen against one index inventory must never be reused after
+          [CREATE INDEX] or [load] changes it *)
 }
 
 type counters = {

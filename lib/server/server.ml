@@ -91,9 +91,19 @@ let resolve (k : P.knobs) =
     Option.value k.engine ~default:Exec.Plan.Tuple,
     Option.value k.rewrite_not_in ~default:false )
 
-let cache_key ~knobs normalized =
+let cache_key t ~knobs normalized =
   let strategy, mode, engine, rewrite_not_in = resolve knobs in
-  { Plan_cache.normalized; strategy; mode; engine; rewrite_not_in }
+  {
+    Plan_cache.normalized;
+    strategy;
+    mode;
+    engine;
+    rewrite_not_in;
+    (* stamping the key with the catalog's index inventory version makes
+       index changes (CREATE INDEX, load) logically invalidate every
+       older entry even before the cache is swept *)
+    index_epoch = Catalog.index_epoch (Core.catalog t.db);
+  }
 
 (* Parse/analyze (to learn the normalized key text), then either reuse the
    cached prepared statement or do the transform once and cache it.  The
@@ -105,7 +115,7 @@ let prepare_cached t ~knobs sql : (Core.prepared * string, string) result =
   | Error e -> Error e
   | Ok q -> (
       let normalized = Sql.Pp.query_to_string q in
-      let key = cache_key ~knobs normalized in
+      let key = cache_key t ~knobs normalized in
       match Plan_cache.find t.plan_cache key with
       | Some p -> Ok (p, "hit")
       | None ->
@@ -167,13 +177,28 @@ let classification_name q =
 (* Verbs                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let do_query t session ~knobs sql =
-  match prepare_cached t ~knobs sql with
+(* CREATE INDEX arrives as a [query] statement: DDL, not a query plan —
+   build the B-tree, then sweep the plan cache (the key's index_epoch
+   already makes stale entries unreachable; the sweep also bumps the cache
+   epoch so sessions re-analyze their prepared statements). *)
+let do_create_index t sql =
+  match Core.execute_create_index t.db sql with
   | Error e -> P.error_response e
-  | Ok (p, cache_status) -> (
-      match execute t session ~knobs p with
-      | Error e -> P.error_response e
-      | Ok (e, wall_s) -> P.ok_response (result_fields ~cache_status e wall_s))
+  | Ok msg ->
+      let invalidated = Plan_cache.invalidate t.plan_cache in
+      P.ok_response
+        [ ("message", P.Str msg); ("invalidated", P.Int invalidated) ]
+
+let do_query t session ~knobs sql =
+  if Core.is_create_index sql then do_create_index t sql
+  else
+    match prepare_cached t ~knobs sql with
+    | Error e -> P.error_response e
+    | Ok (p, cache_status) -> (
+        match execute t session ~knobs p with
+        | Error e -> P.error_response e
+        | Ok (e, wall_s) ->
+            P.ok_response (result_fields ~cache_status e wall_s))
 
 let do_prepare t (session : Session.t) ~name ~knobs sql =
   match prepare_cached t ~knobs sql with
@@ -214,7 +239,7 @@ let do_execute t (session : Session.t) ~name =
               Ok (p, status)
         else
           let key =
-            cache_key ~knobs:entry.Session.knobs
+            cache_key t ~knobs:entry.Session.knobs
               entry.Session.prep.Core.normalized
           in
           match Plan_cache.find t.plan_cache key with
@@ -273,16 +298,41 @@ let do_lint t ~check sql =
         else []))
 
 let do_load t ~table ~columns ~rows =
+  (* The old heap's indexes die with the drop; remember which columns were
+     indexed and rebuild them on the replacement heap, so a statement
+     re-executed after [load] probes the new data instead of reading a
+     stale tree (or silently losing its index access path). *)
+  let catalog = Core.catalog t.db in
+  let indexed =
+    match Catalog.lookup catalog table with
+    | Some _ -> Catalog.indexed_columns catalog table
+    | None -> []
+  in
   match
-    Catalog.drop (Core.catalog t.db) table;
+    Catalog.drop catalog table;
     Core.define_table t.db table columns rows
   with
   | () ->
+      let rebuilt =
+        List.filter
+          (fun column ->
+            match Catalog.lookup catalog table with
+            | None -> false
+            | Some schema -> (
+                match Core.Schema.find_opt schema column with
+                | Some _ ->
+                    Core.create_index t.db table ~column;
+                    true
+                | None -> false
+                | exception Core.Schema.Ambiguous _ -> false))
+          indexed
+      in
       let invalidated = Plan_cache.invalidate t.plan_cache in
       P.ok_response
         [
           ("table", P.Str table);
           ("rows_loaded", P.Int (List.length rows));
+          ("indexes_rebuilt", P.Int (List.length rebuilt));
           ("invalidated", P.Int invalidated);
         ]
   | exception Invalid_argument msg -> P.error_response msg

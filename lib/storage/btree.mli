@@ -1,0 +1,45 @@
+(** Paged B-trees bulk-loaded from heap files.
+
+    Dense leaf entries [key; page; slot] in key order, fixed-fanout
+    interior pages, all in one pager file (leaves consecutive, root
+    last).  Construction streams the heap through {!External_sort} and —
+    unlike the ISAM index it replaces — charges every page it touches to
+    the pager counters; the bill is also captured per-tree in
+    {!build_io}.  Probes descend root-to-leaf (O(height) page reads) and
+    fetch data pages through the buffer pool, so indexed access paths
+    have honest measured cost. *)
+
+type t
+
+(** Bulk-load an index over the non-NULL values of column position
+    [key_col].  Page traffic (heap scan, sort runs, tree pages) is
+    charged to the pager's counters and recorded in {!build_io}. *)
+val build : Pager.t -> Heap_file.t -> key_col:int -> t
+
+(** Data rows whose key equals [v], in stored (page, slot) order.
+    NULL matches nothing (SQL comparison semantics). *)
+val lookup_eq : t -> Relalg.Value.t -> Relalg.Row.t list
+
+(** [(value, inclusive)] endpoint of a range probe. *)
+type bound = Relalg.Value.t * bool
+
+(** Data rows with keys in the given range, ascending; omitted bounds are
+    unbounded, NULL bounds match nothing. *)
+val range :
+  t -> ?lo:bound -> ?hi:bound -> unit -> unit -> Relalg.Row.t option
+
+(** Total pages (leaf + interior). *)
+val pages : t -> int
+
+val leaf_page_count : t -> int
+val entry_count : t -> int
+
+(** Levels including the leaf level; the page reads per descent. *)
+val height : t -> int
+
+val key_col : t -> int
+
+(** Page traffic charged while building this tree. *)
+val build_io : t -> Pager.stats
+
+val delete : t -> unit

@@ -12,7 +12,7 @@ type entry = {
   name : string;
   heap : Heap_file.t;
   stats : Stats.t;
-  mutable indexes : (int * Index.t) list; (* key column -> index *)
+  mutable indexes : (int * Btree.t) list; (* key column -> B-tree *)
   mutable sorted_on : int list option;
       (* column positions the stored order is known to follow; temp tables
          created by merge-join/group-by pipelines are born sorted, which §7.4
@@ -23,11 +23,17 @@ type t = {
   pager : Pager.t;
   mutable entries : (string * entry) list;
   mutable temp_counter : int;
+  mutable index_epoch : int;
+      (* bumped whenever the set of indexes changes; cached plans chosen
+         against an index inventory must not outlive it. *)
 }
 
 exception Unknown_table of string
 
-let create pager = { pager; entries = []; temp_counter = 0 }
+let create pager =
+  { pager; entries = []; temp_counter = 0; index_epoch = 0 }
+
+let index_epoch t = t.index_epoch
 
 let pager t = t.pager
 
@@ -67,10 +73,22 @@ let stats t name = (entry t name).stats
 let create_index t name ~column =
   let e = entry t name in
   let key_col = Schema.find (Heap_file.schema e.heap) column in
-  if not (List.mem_assoc key_col e.indexes) then
-    e.indexes <- (key_col, Index.build t.pager e.heap ~key_col) :: e.indexes
+  if not (List.mem_assoc key_col e.indexes) then begin
+    e.indexes <- (key_col, Btree.build t.pager e.heap ~key_col) :: e.indexes;
+    t.index_epoch <- t.index_epoch + 1
+  end
 
 let index_on t name ~key_col = List.assoc_opt key_col (entry t name).indexes
+
+let indexed_columns t name =
+  let e = entry t name in
+  let schema = Heap_file.schema e.heap in
+  List.rev_map
+    (fun (key_col, _) -> (Schema.column schema key_col).Schema.name)
+    e.indexes
+
+let has_indexes t =
+  List.exists (fun (_, e) -> e.indexes <> []) t.entries
 
 let pages t name = Heap_file.page_count (entry t name).heap
 let tuples t name = Heap_file.tuple_count (entry t name).heap
@@ -80,7 +98,8 @@ let drop t name =
   | None -> ()
   | Some e ->
       Heap_file.delete e.heap;
-      List.iter (fun (_, idx) -> Index.delete idx) e.indexes;
+      List.iter (fun (_, idx) -> Btree.delete idx) e.indexes;
+      if e.indexes <> [] then t.index_epoch <- t.index_epoch + 1;
       t.entries <- List.remove_assoc name t.entries
 
 let table_names t = List.rev_map fst t.entries

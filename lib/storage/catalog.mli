@@ -28,12 +28,23 @@ val set_sorted_on : t -> string -> int list -> unit
 (** Per-column statistics, collected at registration. *)
 val stats : t -> string -> Stats.t
 
-(** Build a dense sorted index on [column] (idempotent).
+(** Bulk-load a B-tree on [column] (idempotent); build page traffic is
+    charged to the pager counters.
     @raise Schema.Not_found_column *)
 val create_index : t -> string -> column:string -> unit
 
-(** The index on column position [key_col], if one was created. *)
-val index_on : t -> string -> key_col:int -> Index.t option
+(** The B-tree on column position [key_col], if one was created. *)
+val index_on : t -> string -> key_col:int -> Btree.t option
+
+(** Names of the columns of [name] that carry an index. *)
+val indexed_columns : t -> string -> string list
+
+(** Whether any table carries an index (gates index-aware planning). *)
+val has_indexes : t -> bool
+
+(** Bumped whenever the index inventory changes (create or drop of an
+    indexed table); plan caches key on it. *)
+val index_epoch : t -> int
 
 val pages : t -> string -> int
 val tuples : t -> string -> int

@@ -104,10 +104,14 @@ let sort pager ?(dedup = Keep_duplicates) ~key (input : Heap_file.t) :
               let grp, rest' = take (n - 1) rest in
               (x :: grp, rest')
         in
+        (* A 1-way "merge" never reduces the run count (a 2-page pool made
+           this loop forever); two-way merging with overcommitted buffers
+           is still correct, the pool just thrashes a little. *)
+        let fan_in = max 2 (b - 1) in
         let rec pass acc = function
           | [] -> List.rev acc
           | runs ->
-              let grp, rest = take (b - 1) runs in
+              let grp, rest = take fan_in runs in
               pass (merge_group grp :: acc) rest
         in
         merge_all (pass [] many)

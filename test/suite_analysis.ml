@@ -351,7 +351,7 @@ let test_check_source_reports () =
             | _ -> false))
         reports
 
-(* --- the matrix under ~check: all 49 cells type-check ------------------ *)
+(* --- the matrix under ~check: all 54 cells type-check ------------------ *)
 
 let test_matrix_check_clean () =
   let case =
@@ -365,7 +365,7 @@ let test_matrix_check_clean () =
   Alcotest.(check (list string))
     "no mismatches or plan-check failures" []
     (Oracle.Matrix.describe result);
-  Alcotest.(check int) "all 49 cells ran" 49
+  Alcotest.(check int) "all 54 cells ran" 54
     (List.length result.Oracle.Matrix.outcomes)
 
 let suites =

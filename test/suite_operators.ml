@@ -295,7 +295,7 @@ let rec plan_has pred (n : Exec.Plan.node) =
   pred n
   ||
   match n with
-  | Exec.Plan.Scan _ -> false
+  | Exec.Plan.Scan _ | Exec.Plan.Index_scan _ -> false
   | Exec.Plan.Rename (_, i)
   | Exec.Plan.Filter (_, i)
   | Exec.Plan.Project (_, i)

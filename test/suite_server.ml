@@ -150,6 +150,7 @@ let key text =
     mode = Optimizer.Planner.Paper1987;
     engine = Exec.Plan.Tuple;
     rewrite_not_in = false;
+    index_epoch = 0;
   }
 
 let test_cache_lru () =
@@ -350,6 +351,46 @@ let test_server_load_invalidates () =
     (P.member "rows" q = P.member "rows" e);
   Server.close_session server s
 
+(* Regression: an index must not survive [load] pointing at the dropped
+   heap.  Before this fix do_load dropped the table — deleting its B-trees
+   — and redefined it without them, so a nested-strategy statement
+   re-executed after load silently lost its index access path (and a plan
+   cached against the old index inventory could be reused).  Now load
+   rebuilds the indexes on the replacement heap and reports it, and the
+   catalog's index_epoch is part of the plan-cache key. *)
+let test_server_index_survives_load () =
+  let server = Server.create ~cache_capacity:8 (count_bug_db ()) in
+  let s = Server.open_session server in
+  let exists_q =
+    "SELECT PNUM FROM PARTS WHERE EXISTS (SELECT QUAN FROM SUPPLY WHERE \
+     SUPPLY.PNUM = PARTS.PNUM)"
+  in
+  (* CREATE INDEX arrives over the query verb *)
+  let ci = send_ok server s (query_line "CREATE INDEX ON SUPPLY (PNUM)") in
+  Alcotest.(check bool) "created" true
+    (String.length (str_member "message" ci) > 0);
+  let j =
+    send_ok server s (query_line ~extra:{|, "strategy": "nested"|} exists_q)
+  in
+  Alcotest.(check int) "all three parts supplied" 3 (int_member "row_count" j);
+  let load =
+    send_ok server s
+      {|{"op": "load", "table": "SUPPLY", "columns": [["PNUM", "int"], ["QUAN", "int"], ["SHIPDATE", "date"]], "rows": [[10, 1, "1979-01-01"]]}|}
+  in
+  Alcotest.(check int) "index rebuilt on the new heap" 1
+    (int_member "indexes_rebuilt" load);
+  (* the nested enumeration now probes the rebuilt tree: only PNUM 10 has
+     supply rows; a stale index would still answer for 3 and 8 *)
+  let j2 =
+    send_ok server s (query_line ~extra:{|, "strategy": "nested"|} exists_q)
+  in
+  Alcotest.(check bool) "fresh data through a fresh index" true
+    (P.member "rows" j2 = Some (P.List [ P.List [ P.Int 10 ] ]));
+  (* re-creating the same index is idempotent, not an error *)
+  let ci2 = send_ok server s (query_line "CREATE INDEX ON SUPPLY (PNUM)") in
+  Alcotest.(check bool) "idempotent" true (str_member "message" ci2 <> "");
+  Server.close_session server s
+
 let test_server_eviction_under_tiny_capacity () =
   let server = Server.create ~cache_capacity:1 (count_bug_db ()) in
   let s = Server.open_session server in
@@ -517,6 +558,8 @@ let suites =
           test_server_strategy_is_cache_key;
         Alcotest.test_case "load invalidates and re-prepares" `Quick
           test_server_load_invalidates;
+        Alcotest.test_case "indexes rebuilt across load (stale-index fix)"
+          `Quick test_server_index_survives_load;
         Alcotest.test_case "eviction under capacity 1" `Quick
           test_server_eviction_under_tiny_capacity;
         Alcotest.test_case "protocol errors" `Quick test_server_errors;

@@ -173,7 +173,7 @@ let test_external_sort_io_shape () =
     true
     (Pager.total_io s <= 2 * p * passes_upper)
 
-(* --- Index --------------------------------------------------------------- *)
+(* --- B-tree -------------------------------------------------------------- *)
 
 let kv_schema = Schema.of_columns ~rel:"T" [ ("k", Value.Tint); ("v", Value.Tint) ]
 
@@ -185,10 +185,10 @@ let kv_heap pager rows =
 let test_index_lookup () =
   let pager = Pager.create ~buffer_pages:4 ~page_bytes:48 () in
   let heap = kv_heap pager [ (5, 50); (1, 10); (5, 51); (3, 30); (1, 11) ] in
-  let idx = Index.build pager heap ~key_col:0 in
-  Alcotest.(check int) "entries" 5 (Index.entry_count idx);
+  let idx = Btree.build pager heap ~key_col:0 in
+  Alcotest.(check int) "entries" 5 (Btree.entry_count idx);
   let values key =
-    List.map (fun r -> Row.get r 1) (Index.lookup_eq idx (Value.Int key))
+    List.map (fun r -> Row.get r 1) (Btree.lookup_eq idx (Value.Int key))
     |> List.sort Value.compare
   in
   Alcotest.(check bool) "duplicates found" true
@@ -196,7 +196,7 @@ let test_index_lookup () =
   Alcotest.(check bool) "single" true (values 3 = [ Value.Int 30 ]);
   Alcotest.(check bool) "missing" true (values 99 = []);
   Alcotest.(check bool) "null probe matches nothing" true
-    (Index.lookup_eq idx Value.Null = [])
+    (Btree.lookup_eq idx Value.Null = [])
 
 let test_index_null_keys_excluded () =
   let pager = Pager.create ~buffer_pages:4 ~page_bytes:48 () in
@@ -206,19 +206,88 @@ let test_index_null_keys_excluded () =
          [ Row.of_list [ Value.Null; Value.Int 1 ];
            Row.of_list [ Value.Int 2; Value.Int 2 ] ])
   in
-  let idx = Index.build pager heap ~key_col:0 in
-  Alcotest.(check int) "null keys not indexed" 1 (Index.entry_count idx)
+  let idx = Btree.build pager heap ~key_col:0 in
+  Alcotest.(check int) "null keys not indexed" 1 (Btree.entry_count idx)
 
-let test_index_probe_costs_io () =
+let test_index_build_costs_io () =
+  (* Construction used to hide behind [without_accounting]; now the heap
+     scan, sort runs and tree pages are all charged and recorded. *)
   let pager = Pager.create ~buffer_pages:2 ~page_bytes:32 () in
   let heap = kv_heap pager (List.init 64 (fun i -> (i, i))) in
   Pager.reset_stats pager;
-  let idx = Index.build pager heap ~key_col:0 in
+  let idx = Btree.build pager heap ~key_col:0 in
   let s = Pager.stats pager in
-  Alcotest.(check int) "build not charged" 0 s.physical_reads;
-  ignore (Index.lookup_eq idx (Value.Int 40));
+  Alcotest.(check bool) "build charged" true (s.physical_reads > 0);
+  Alcotest.(check bool) "build writes charged" true (s.physical_writes > 0);
+  let b = Btree.build_io idx in
+  Alcotest.(check int) "build_io records reads" s.physical_reads
+    b.Pager.physical_reads;
+  Pager.reset_stats pager;
+  ignore (Btree.lookup_eq idx (Value.Int 40));
   let s = Pager.stats pager in
   Alcotest.(check bool) "probe charged" true (s.logical_reads > 0)
+
+let test_btree_multi_level () =
+  (* Tiny pages force real interior levels; every key must still resolve
+     with O(height) descents. *)
+  let pager = Pager.create ~buffer_pages:8 ~page_bytes:48 () in
+  let n = 500 in
+  let heap =
+    kv_heap pager (List.init n (fun i -> (((i * 7919) mod n), i)))
+  in
+  let idx = Btree.build pager heap ~key_col:0 in
+  Alcotest.(check int) "entries" n (Btree.entry_count idx);
+  Alcotest.(check bool) "multi-level" true (Btree.height idx >= 2);
+  Alcotest.(check bool) "interior pages exist" true
+    (Btree.pages idx > Btree.leaf_page_count idx);
+  for k = 0 to n - 1 do
+    match Btree.lookup_eq idx (Value.Int k) with
+    | [ _ ] -> ()
+    | rows ->
+        Alcotest.failf "key %d: expected 1 row, got %d" k (List.length rows)
+  done
+
+let test_btree_range () =
+  let pager = Pager.create ~buffer_pages:8 ~page_bytes:48 () in
+  let heap = kv_heap pager (List.init 100 (fun i -> (i, i * 10))) in
+  let idx = Btree.build pager heap ~key_col:0 in
+  let collect ?lo ?hi () =
+    let next = Btree.range idx ?lo ?hi () in
+    let rec go acc =
+      match next () with
+      | Some r -> go (Row.get r 0 :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let ints xs = List.map (fun i -> Value.Int i) xs in
+  Alcotest.(check bool) "closed range" true
+    (collect ~lo:(Value.Int 10, true) ~hi:(Value.Int 14, true) ()
+    = ints [ 10; 11; 12; 13; 14 ]);
+  Alcotest.(check bool) "open lo" true
+    (collect ~lo:(Value.Int 10, false) ~hi:(Value.Int 12, true) ()
+    = ints [ 11; 12 ]);
+  Alcotest.(check bool) "open hi" true
+    (collect ~lo:(Value.Int 97, true) ~hi:(Value.Int 99, false) ()
+    = ints [ 97; 98 ]);
+  Alcotest.(check bool) "unbounded hi reaches end" true
+    (collect ~lo:(Value.Int 95, true) () = ints [ 95; 96; 97; 98; 99 ]);
+  Alcotest.(check bool) "unbounded lo starts at min" true
+    (collect ~hi:(Value.Int 3, true) () = ints [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "full scan via range" 100
+    (List.length (collect ()));
+  Alcotest.(check bool) "null bound matches nothing" true
+    (collect ~lo:(Value.Null, true) () = [])
+
+let test_btree_empty () =
+  let pager = Pager.create ~buffer_pages:4 ~page_bytes:48 () in
+  let heap = kv_heap pager [] in
+  let idx = Btree.build pager heap ~key_col:0 in
+  Alcotest.(check int) "no entries" 0 (Btree.entry_count idx);
+  Alcotest.(check bool) "probe on empty" true
+    (Btree.lookup_eq idx (Value.Int 1) = []);
+  let next = Btree.range idx () in
+  Alcotest.(check bool) "range on empty" true (next () = None)
 
 (* --- Stats --------------------------------------------------------------- *)
 
@@ -342,13 +411,16 @@ let suites =
         Alcotest.test_case "io shape" `Quick test_external_sort_io_shape;
         QCheck_alcotest.to_alcotest prop_sort_matches_list_sort;
       ] );
-    ( "storage.index",
+    ( "storage.btree",
       [
         Alcotest.test_case "lookup" `Quick test_index_lookup;
         Alcotest.test_case "null keys excluded" `Quick
           test_index_null_keys_excluded;
-        Alcotest.test_case "probe I/O accounting" `Quick
-          test_index_probe_costs_io;
+        Alcotest.test_case "build and probe I/O accounting" `Quick
+          test_index_build_costs_io;
+        Alcotest.test_case "multi-level tree" `Quick test_btree_multi_level;
+        Alcotest.test_case "range probes" `Quick test_btree_range;
+        Alcotest.test_case "empty relation" `Quick test_btree_empty;
       ] );
     ( "storage.stats",
       [
